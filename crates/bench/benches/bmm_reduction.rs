@@ -1,0 +1,31 @@
+//! Experiment E4 (Criterion variant): the BMM → MSRP reduction (Theorem 2/28) vs the naive
+//! combinatorial product.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use msrp_bmm::{multiply_via_msrp, BoolMatrix};
+use msrp_core::MsrpParams;
+
+fn bench_bmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bmm_reduction");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[16usize, 24, 32] {
+        let a = BoolMatrix::random(n, 0.15, &mut rng);
+        let b = BoolMatrix::random(n, 0.15, &mut rng);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| a.multiply_naive(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("via_msrp", n), &n, |bench, _| {
+            bench.iter(|| multiply_via_msrp(&a, &b, 2, &MsrpParams::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bmm);
+criterion_main!(benches);

@@ -1,0 +1,287 @@
+//! Experiment harness: regenerates the derived tables E1–E7 described in `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p msrp-bench --release --bin experiments -- [e1|e2|e3|e4|e5|e6|e7|all] [--quick]
+//! ```
+//!
+//! `--quick` shrinks the instance sizes so that every experiment finishes in a few seconds
+//! (used by the CI-style smoke run); without it the sizes match the numbers reported in
+//! `EXPERIMENTS.md`.
+
+use std::env;
+
+use msrp_bench::{evenly_spaced_sources, standard_graph, time_secs, Table, WorkloadKind};
+use msrp_bmm::{multiply_via_msrp, BoolMatrix};
+use msrp_core::{
+    solve_msrp, solve_ssrp, verify::exactness, verify::verify_msrp, MsrpParams,
+    SourceToLandmarkStrategy,
+};
+use msrp_graph::{bfs_avoiding_edge, Graph, ShortestPathTree};
+use msrp_netsim::{run_simulation, SimulationConfig};
+use msrp_oracle::ReplacementPathOracle;
+use msrp_rpath::{single_source_brute_force, single_source_via_single_pair};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let all = which.is_empty() || which.contains(&"all");
+
+    let run = |id: &str| all || which.contains(&id);
+    if run("e1") {
+        experiment_e1(quick);
+    }
+    if run("e2") {
+        experiment_e2(quick);
+    }
+    if run("e3") {
+        experiment_e3(quick);
+    }
+    if run("e4") {
+        experiment_e4(quick);
+    }
+    if run("e5") {
+        experiment_e5(quick);
+    }
+    if run("e6") {
+        experiment_e6(quick);
+    }
+    if run("e7") {
+        experiment_e7(quick);
+    }
+}
+
+fn bench_params() -> MsrpParams {
+    MsrpParams::scaled_for_benchmarks()
+}
+
+/// E1 — SSRP scaling (Theorem 14): paper algorithm vs the two `Õ(mn)` baselines.
+fn experiment_e1(quick: bool) {
+    println!("\n=== E1: single-source scaling (Theorem 14) ===");
+    let sizes: &[usize] = if quick { &[128, 256] } else { &[128, 256, 512, 1024, 2048] };
+    let mut table =
+        Table::new(["n", "m", "brute force (s)", "classical per-target (s)", "paper SSRP (s)", "speedup vs classical"]);
+    for &n in sizes {
+        let g = standard_graph(WorkloadKind::SparseRandom, n, 42);
+        let tree = ShortestPathTree::build(&g, 0);
+        let (_, brute) = time_secs(|| single_source_brute_force(&g, &tree));
+        let (_, classical) = time_secs(|| single_source_via_single_pair(&g, &tree));
+        let (_, paper) = time_secs(|| solve_ssrp(&g, 0, &bench_params()));
+        table.add_row([
+            n.to_string(),
+            g.edge_count().to_string(),
+            format!("{brute:.3}"),
+            format!("{classical:.3}"),
+            format!("{paper:.3}"),
+            format!("{:.2}x", classical / paper.max(1e-9)),
+        ]);
+    }
+    table.print();
+}
+
+/// E2 — MSRP scaling in σ (Theorem 1/26): interpolation between the σ=1 and σ=n endpoints.
+fn experiment_e2(quick: bool) {
+    println!("\n=== E2: multi-source scaling in sigma (Theorem 1/26) ===");
+    let n = if quick { 192 } else { 512 };
+    let sigmas: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 16, 32] };
+    let g = standard_graph(WorkloadKind::SparseRandom, n, 7);
+    let mut table = Table::new([
+        "sigma",
+        "paper MSRP path-cover (s)",
+        "exact source-landmark ablation (s)",
+        "per-source brute force (s)",
+    ]);
+    for &sigma in sigmas {
+        let sources = evenly_spaced_sources(n, sigma);
+        let (_, cover) = time_secs(|| solve_msrp(&g, &sources, &bench_params()));
+        let (_, exact) = time_secs(|| {
+            solve_msrp(&g, &sources, &bench_params().with_strategy(SourceToLandmarkStrategy::Exact))
+        });
+        let (_, brute) = time_secs(|| {
+            for &s in &sources {
+                let tree = ShortestPathTree::build(&g, s);
+                let _ = single_source_brute_force(&g, &tree);
+            }
+        });
+        table.add_row([
+            sigma.to_string(),
+            format!("{cover:.3}"),
+            format!("{exact:.3}"),
+            format!("{brute:.3}"),
+        ]);
+    }
+    table.print();
+}
+
+/// E3 — exactness rate of the randomized algorithm under paper and scaled constants.
+fn experiment_e3(quick: bool) {
+    println!("\n=== E3: exactness of the randomized algorithm ===");
+    let trials = if quick { 3 } else { 10 };
+    let n = if quick { 48 } else { 96 };
+    let mut table = Table::new(["parameters", "kind", "entries checked", "exact entries", "under-estimates"]);
+    for (label, params) in [("paper", MsrpParams::default()), ("scaled", bench_params())] {
+        for kind in [WorkloadKind::SparseRandom, WorkloadKind::Grid] {
+            let mut total = 0usize;
+            let mut good = 0usize;
+            let mut under = 0usize;
+            for trial in 0..trials {
+                let g = standard_graph(kind, n, 100 + trial as u64);
+                let sources = evenly_spaced_sources(g.vertex_count(), 3);
+                let out = solve_msrp(&g, &sources, &params.clone().with_seed(trial as u64));
+                let reports = verify_msrp(&g, &out);
+                let (g_ok, g_total) = exactness(&reports);
+                good += g_ok;
+                total += g_total;
+                under += reports.iter().map(|r| r.under_estimates).sum::<usize>();
+            }
+            table.add_row([
+                label.to_string(),
+                kind.label().to_string(),
+                total.to_string(),
+                good.to_string(),
+                under.to_string(),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// E4 — the BMM reduction (Theorem 2/28).
+fn experiment_e4(quick: bool) {
+    println!("\n=== E4: BMM via the MSRP reduction (Theorem 2/28) ===");
+    let sizes: &[usize] = if quick { &[12, 16] } else { &[16, 24, 32, 48] };
+    let mut table =
+        Table::new(["n", "density", "naive BMM (s)", "via MSRP (s)", "products agree"]);
+    let mut rng = StdRng::seed_from_u64(3);
+    for &n in sizes {
+        let density = 0.15;
+        let a = BoolMatrix::random(n, density, &mut rng);
+        let b = BoolMatrix::random(n, density, &mut rng);
+        let (expected, naive) = time_secs(|| a.multiply_naive(&b));
+        let (got, reduced) = time_secs(|| multiply_via_msrp(&a, &b, 2, &MsrpParams::default()));
+        table.add_row([
+            n.to_string(),
+            format!("{density:.2}"),
+            format!("{naive:.4}"),
+            format!("{reduced:.3}"),
+            (expected == got).to_string(),
+        ]);
+    }
+    table.print();
+}
+
+/// E5 — oracle construction and query latency (the σ = n / Bernstein–Karger endpoint).
+fn experiment_e5(quick: bool) {
+    println!("\n=== E5: fault-tolerant oracle build and query latency ===");
+    let n = if quick { 128 } else { 384 };
+    let g = standard_graph(WorkloadKind::SparseRandom, n, 11);
+    let mut table = Table::new(["sigma", "build via MSRP (s)", "build exact (s)", "oracle query (ns)", "BFS recompute (ns)"]);
+    for &sigma in &[2usize, 8, 32] {
+        let sources = evenly_spaced_sources(n, sigma);
+        let (oracle, build_fast) =
+            time_secs(|| ReplacementPathOracle::build(&g, &sources, &bench_params()));
+        let (_, build_exact) = time_secs(|| ReplacementPathOracle::build_exact(&g, &sources));
+        // Query workload.
+        let mut rng = StdRng::seed_from_u64(5);
+        let edges = g.edge_vec();
+        let queries: Vec<_> = (0..2000)
+            .map(|_| {
+                (
+                    sources[rng.gen_range(0..sources.len())],
+                    rng.gen_range(0..n),
+                    edges[rng.gen_range(0..edges.len())],
+                )
+            })
+            .collect();
+        let (_, oracle_time) = time_secs(|| {
+            let mut acc = 0u64;
+            for &(s, t, e) in &queries {
+                acc = acc.wrapping_add(oracle.replacement_distance(s, t, e).unwrap_or(0) as u64);
+            }
+            acc
+        });
+        let (_, bfs_time) = time_secs(|| {
+            let mut acc = 0u64;
+            for &(s, t, e) in queries.iter().take(200) {
+                acc = acc.wrapping_add(bfs_avoiding_edge(&g, s, e).dist[t] as u64);
+            }
+            acc
+        });
+        table.add_row([
+            sigma.to_string(),
+            format!("{build_fast:.3}"),
+            format!("{build_exact:.3}"),
+            format!("{:.0}", oracle_time * 1e9 / queries.len() as f64),
+            format!("{:.0}", bfs_time * 1e9 / 200.0),
+        ]);
+    }
+    table.print();
+}
+
+/// E6 — ablations: path-cover vs exact tables, refinement sweeps, paper vs scaled constants.
+fn experiment_e6(quick: bool) {
+    println!("\n=== E6: ablations ===");
+    let n = if quick { 128 } else { 320 };
+    let sigma = 8;
+    let g = standard_graph(WorkloadKind::SparseRandom, n, 23);
+    let sources = evenly_spaced_sources(n, sigma);
+    let mut table = Table::new(["configuration", "time (s)", "landmarks", "centers", "exact entries", "total entries"]);
+    let configs: Vec<(&str, MsrpParams)> = vec![
+        ("path-cover / scaled", bench_params()),
+        ("exact tables / scaled", bench_params().with_strategy(SourceToLandmarkStrategy::Exact)),
+        ("path-cover / no refinement", MsrpParams { refinement_sweeps: 0, ..bench_params() }),
+        ("path-cover / paper constants", MsrpParams::default()),
+    ];
+    for (label, params) in configs {
+        let (out, secs) = time_secs(|| solve_msrp(&g, &sources, &params));
+        let reports = verify_msrp(&g, &out);
+        let (good, total) = exactness(&reports);
+        table.add_row([
+            label.to_string(),
+            format!("{secs:.3}"),
+            out.stats.landmark_count.to_string(),
+            out.stats.center_count.to_string(),
+            good.to_string(),
+            total.to_string(),
+        ]);
+    }
+    table.print();
+}
+
+/// E7 — application-level link-failure simulation.
+fn experiment_e7(quick: bool) {
+    println!("\n=== E7: link-failure recovery simulation ===");
+    let n = if quick { 100 } else { 256 };
+    let mut table = Table::new([
+        "workload",
+        "queries",
+        "mismatches",
+        "disconnected",
+        "avg stretch",
+        "oracle query speedup",
+    ]);
+    for kind in [WorkloadKind::SparseRandom, WorkloadKind::Grid, WorkloadKind::PreferentialAttachment] {
+        let g: Graph = standard_graph(kind, n, 31);
+        let config = SimulationConfig {
+            gateways: evenly_spaced_sources(g.vertex_count(), 4),
+            failures: if quick { 20 } else { 100 },
+            queries_per_failure: 20,
+            seed: 9,
+            params: bench_params(),
+        };
+        let report = run_simulation(&g, &config);
+        table.add_row([
+            kind.label().to_string(),
+            report.total_queries.to_string(),
+            report.mismatches.to_string(),
+            report.disconnected_queries.to_string(),
+            format!("{:.2}", report.average_stretch()),
+            format!("{:.1}x", report.query_speedup()),
+        ]);
+    }
+    table.print();
+}

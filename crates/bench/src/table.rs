@@ -1,0 +1,90 @@
+//! A tiny fixed-width table printer for the experiment harness output.
+
+use std::fmt::Write as _;
+
+/// A plain-text table with a header row.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must have as many cells as there are headers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header length.
+    pub fn add_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:<width$} ", cell, width = widths[i]);
+            }
+            out.push_str("|\n");
+        };
+        write_row(&self.headers, &mut out);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{}", "-".repeat(w + 2));
+            if i + 1 == widths.len() {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Prints the rendered table to standard output.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown_like_output() {
+        let mut t = Table::new(["n", "time (ms)"]);
+        t.add_row(["128", "3.5"]);
+        t.add_row(["1024", "81.25"]);
+        let s = t.render();
+        assert!(s.contains("| n    |"));
+        assert!(s.contains("| 1024 | 81.25"));
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_panic() {
+        let mut t = Table::new(["a", "b"]);
+        t.add_row(["only one"]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Minimal wall-clock timing helpers for the experiment harness.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` once and returns its result together with the elapsed wall-clock time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Runs `f` once and returns its result together with the elapsed seconds.
+pub fn time_secs<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let (out, d) = time(f);
+    (out, d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_returns_the_value_and_a_positive_duration() {
+        let (v, d) = time(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(d.as_nanos() > 0);
+        let (v, s) = time_secs(|| "x");
+        assert_eq!(v, "x");
+        assert!(s >= 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Bit-packed boolean matrices and the naive combinatorial product.
+
+use rand::Rng;
+
+/// A square boolean matrix stored as bit-packed rows.
+///
+/// ```
+/// use msrp_bmm::BoolMatrix;
+///
+/// let mut a = BoolMatrix::zeros(3);
+/// a.set(0, 1, true);
+/// a.set(1, 2, true);
+/// let b = a.clone();
+/// let c = a.multiply_naive(&b);
+/// assert!(c.get(0, 2)); // A[0][1] & B[1][2]
+/// assert!(!c.get(2, 0));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoolMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BoolMatrix {
+    /// An `n × n` all-zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64).max(1);
+        BoolMatrix { n, words_per_row, bits: vec![0; n * words_per_row] }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// A random matrix where every entry is 1 independently with probability `density`.
+    pub fn random<R: Rng + ?Sized>(n: usize, density: f64, rng: &mut R) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                if rng.gen_bool(density.clamp(0.0, 1.0)) {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from rows of booleans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not form a square matrix.
+    pub fn from_rows(rows: &[Vec<bool>]) -> Self {
+        let n = rows.len();
+        let mut m = Self::zeros(n);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n, "matrix must be square");
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Dimension `n`.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.n && j < self.n, "index out of range");
+        let word = self.bits[i * self.words_per_row + j / 64];
+        (word >> (j % 64)) & 1 == 1
+    }
+
+    /// Sets entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        assert!(i < self.n && j < self.n, "index out of range");
+        let w = &mut self.bits[i * self.words_per_row + j / 64];
+        if value {
+            *w |= 1 << (j % 64);
+        } else {
+            *w &= !(1 << (j % 64));
+        }
+    }
+
+    /// Number of 1-entries.
+    pub fn ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Indices `j` with `A[i][j] = 1`.
+    pub fn row_ones(&self, i: usize) -> Vec<usize> {
+        (0..self.n).filter(|&j| self.get(i, j)).collect()
+    }
+
+    /// The naive combinatorial boolean product (`O(n³ / w)` with word-parallel rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn multiply_naive(&self, other: &BoolMatrix) -> BoolMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let mut c = BoolMatrix::zeros(self.n);
+        for i in 0..self.n {
+            let a_row = &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row];
+            let c_row = i * c.words_per_row;
+            for k in 0..self.n {
+                if (a_row[k / 64] >> (k % 64)) & 1 == 1 {
+                    let b_row = &other.bits[k * other.words_per_row..(k + 1) * other.words_per_row];
+                    for w in 0..self.words_per_row {
+                        c.bits[c_row + w] |= b_row[w];
+                    }
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn get_set_roundtrip_across_word_boundaries() {
+        let mut m = BoolMatrix::zeros(130);
+        m.set(0, 0, true);
+        m.set(0, 63, true);
+        m.set(0, 64, true);
+        m.set(129, 129, true);
+        assert!(m.get(0, 0) && m.get(0, 63) && m.get(0, 64) && m.get(129, 129));
+        assert!(!m.get(1, 0));
+        m.set(0, 64, false);
+        assert!(!m.get(0, 64));
+        assert_eq!(m.ones(), 3);
+    }
+
+    #[test]
+    fn identity_is_a_multiplicative_unit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = BoolMatrix::random(40, 0.1, &mut rng);
+        let id = BoolMatrix::identity(40);
+        assert_eq!(a.multiply_naive(&id), a);
+        assert_eq!(id.multiply_naive(&a), a);
+    }
+
+    #[test]
+    fn naive_product_matches_definition() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = BoolMatrix::random(25, 0.2, &mut rng);
+        let b = BoolMatrix::random(25, 0.2, &mut rng);
+        let c = a.multiply_naive(&b);
+        for i in 0..25 {
+            for j in 0..25 {
+                let expected = (0..25).any(|k| a.get(i, k) && b.get(k, j));
+                assert_eq!(c.get(i, j), expected, "({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_and_row_ones() {
+        let m = BoolMatrix::from_rows(&[
+            vec![false, true, false],
+            vec![true, false, true],
+            vec![false, false, false],
+        ]);
+        assert_eq!(m.row_ones(0), vec![1]);
+        assert_eq!(m.row_ones(1), vec![0, 2]);
+        assert!(m.row_ones(2).is_empty());
+        assert_eq!(m.ones(), 3);
+        assert_eq!(m.size(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn ragged_rows_panic() {
+        let _ = BoolMatrix::from_rows(&[vec![true], vec![true, false]]);
+    }
+
+    #[test]
+    fn random_density_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(BoolMatrix::random(10, 0.0, &mut rng).ones(), 0);
+        assert_eq!(BoolMatrix::random(10, 1.0, &mut rng).ones(), 100);
+    }
+}

@@ -1,0 +1,196 @@
+//! Landmark and center sampling (Definition 3 and Section 8 of the paper).
+//!
+//! Both landmarks (`L_k`) and centers (`C_k`) are sampled the same way: level `k` contains each
+//! vertex independently with probability `min(1, c/2^k · sqrt(σ/n))`, for `k = 0 … ⌊log₂√(nσ)⌋`.
+//! A vertex may belong to several levels; its *priority* is the largest such level. The paper
+//! additionally forces all sources into `L` and into `C_0`; our implementation also forces all
+//! landmarks into `C_0` (see `DESIGN.md`, "Substitutions"), which closes the boundary case of
+//! the path-cover decomposition at the landmark end of the path without changing the asymptotic
+//! size of `C`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use msrp_graph::Vertex;
+
+use crate::params::MsrpParams;
+
+/// A levelled sample of vertices (used for both landmarks and centers).
+#[derive(Clone, Debug)]
+pub struct SampledLevels {
+    levels: Vec<Vec<Vertex>>,
+    priority_of: Vec<Option<usize>>,
+    all: Vec<Vertex>,
+}
+
+impl SampledLevels {
+    /// Samples levels `0..=max_level` over `n` vertices. Vertices in `forced` are added to
+    /// level 0 regardless of the coin flips.
+    pub fn sample(
+        n: usize,
+        sigma: usize,
+        params: &MsrpParams,
+        rng: &mut StdRng,
+        forced: &[Vertex],
+    ) -> Self {
+        let max_level = params.max_level(n, sigma);
+        let mut membership: Vec<Vec<bool>> = vec![vec![false; n]; max_level + 1];
+        for (k, level) in membership.iter_mut().enumerate() {
+            let p = params.sampling_probability(k, n, sigma);
+            for slot in level.iter_mut() {
+                if rng.gen_bool(p) {
+                    *slot = true;
+                }
+            }
+        }
+        for &v in forced {
+            assert!(v < n, "forced vertex {v} out of range");
+            membership[0][v] = true;
+        }
+        let mut levels: Vec<Vec<Vertex>> = Vec::with_capacity(max_level + 1);
+        let mut priority_of: Vec<Option<usize>> = vec![None; n];
+        for (k, level) in membership.iter().enumerate() {
+            let mut vs = Vec::new();
+            for (v, &is_in) in level.iter().enumerate() {
+                if is_in {
+                    vs.push(v);
+                    priority_of[v] = Some(k);
+                }
+            }
+            levels.push(vs);
+        }
+        let mut all: Vec<Vertex> =
+            priority_of.iter().enumerate().filter(|(_, p)| p.is_some()).map(|(v, _)| v).collect();
+        all.sort_unstable();
+        SampledLevels { levels, priority_of, all }
+    }
+
+    /// Builds a deterministic sample from the given seed (wrapper used by the solvers).
+    pub fn sample_seeded(
+        n: usize,
+        sigma: usize,
+        params: &MsrpParams,
+        seed: u64,
+        forced: &[Vertex],
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::sample(n, sigma, params, &mut rng, forced)
+    }
+
+    /// The vertices of level `k` (empty slice if `k` is beyond the sampled levels).
+    pub fn level(&self, k: usize) -> &[Vertex] {
+        self.levels.get(k).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of levels sampled (`max_level + 1`).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// All sampled vertices (union of all levels), sorted.
+    pub fn all(&self) -> &[Vertex] {
+        &self.all
+    }
+
+    /// Total number of distinct sampled vertices.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// `true` when no vertex was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// The priority (largest level) of `v`, or `None` when `v` was not sampled.
+    pub fn priority(&self, v: Vertex) -> Option<usize> {
+        self.priority_of.get(v).copied().flatten()
+    }
+
+    /// `true` when `v` belongs to some level.
+    pub fn contains(&self, v: Vertex) -> bool {
+        self.priority(v).is_some()
+    }
+
+    /// Sizes of the individual levels (for statistics).
+    pub fn level_sizes(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> MsrpParams {
+        MsrpParams::default()
+    }
+
+    #[test]
+    fn forced_vertices_are_always_present() {
+        let s = SampledLevels::sample_seeded(100, 1, &params(), 1, &[13, 57]);
+        assert!(s.contains(13));
+        assert!(s.contains(57));
+        assert!(s.level(0).contains(&13));
+        assert!(s.level(0).contains(&57));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_seed() {
+        let a = SampledLevels::sample_seeded(200, 2, &params(), 99, &[0]);
+        let b = SampledLevels::sample_seeded(200, 2, &params(), 99, &[0]);
+        assert_eq!(a.all(), b.all());
+        for k in 0..a.level_count() {
+            assert_eq!(a.level(k), b.level(k));
+        }
+        let c = SampledLevels::sample_seeded(200, 2, &params(), 100, &[0]);
+        // Different seed almost surely gives a different sample on 200 vertices.
+        assert_ne!(a.all(), c.all());
+    }
+
+    #[test]
+    fn priority_is_the_largest_level() {
+        let s = SampledLevels::sample_seeded(500, 4, &params(), 7, &[]);
+        for v in s.all() {
+            let p = s.priority(*v).unwrap();
+            assert!(s.level(p).contains(v));
+            for k in (p + 1)..s.level_count() {
+                assert!(!s.level(k).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn small_graphs_saturate_level_zero() {
+        // With the paper constants and n small, the level-0 probability is 1.
+        let s = SampledLevels::sample_seeded(30, 2, &params(), 3, &[]);
+        assert_eq!(s.level(0).len(), 30);
+        assert_eq!(s.len(), 30);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn level_sizes_roughly_match_expectation() {
+        let n = 5000;
+        let sigma = 1;
+        let p = params();
+        let s = SampledLevels::sample_seeded(n, sigma, &p, 11, &[]);
+        let expected0 = p.sampling_probability(0, n, sigma) * n as f64;
+        let actual0 = s.level(0).len() as f64;
+        assert!(
+            (actual0 - expected0).abs() < 6.0 * expected0.sqrt() + 10.0,
+            "level 0 size {actual0} far from expectation {expected0}"
+        );
+        assert_eq!(s.level_sizes().len(), s.level_count());
+        // Higher levels are sparser in expectation; check the extremes.
+        assert!(s.level(s.level_count() - 1).len() <= s.level(0).len());
+    }
+
+    #[test]
+    fn out_of_range_queries_are_safe() {
+        let s = SampledLevels::sample_seeded(10, 1, &params(), 1, &[]);
+        assert!(s.level(999).is_empty());
+        assert_eq!(s.priority(999), None);
+        assert!(!s.contains(999));
+    }
+}

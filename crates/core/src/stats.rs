@@ -1,0 +1,105 @@
+//! Lightweight statistics collected by the solvers (sizes of sampled sets and auxiliary graphs,
+//! per-phase wall-clock times). Used by the experiment harness to report where time goes.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-run statistics of the SSRP / MSRP solvers.
+#[derive(Clone, Debug, Default)]
+pub struct AlgorithmStats {
+    /// Number of sources.
+    pub sigma: usize,
+    /// Total number of landmarks.
+    pub landmark_count: usize,
+    /// Landmark count per level `L_k`.
+    pub landmark_level_sizes: Vec<usize>,
+    /// Total number of centers (0 when the path-cover machinery was not used).
+    pub center_count: usize,
+    /// Sum of node counts of the Section 7.1 auxiliary graphs over all sources.
+    pub near_small_nodes: usize,
+    /// Sum of edge counts of the Section 7.1 auxiliary graphs over all sources.
+    pub near_small_edges: usize,
+    /// Total entries of the source→landmark replacement table.
+    pub source_landmark_entries: usize,
+    /// Total `(s, t, e)` entries produced.
+    pub output_entries: usize,
+    /// Named phase timings, in execution order.
+    pub phases: Vec<(String, Duration)>,
+}
+
+impl AlgorithmStats {
+    /// Records the duration of a named phase.
+    pub fn record_phase(&mut self, name: &str, duration: Duration) {
+        self.phases.push((name.to_string(), duration));
+    }
+
+    /// Runs `f`, records its duration under `name`, and returns its result.
+    pub fn time_phase<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record_phase(name, start.elapsed());
+        out
+    }
+
+    /// Total time across all recorded phases.
+    pub fn total_time(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Duration of a phase by name, if it was recorded.
+    pub fn phase(&self, name: &str) -> Option<Duration> {
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+    }
+}
+
+impl fmt::Display for AlgorithmStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "sigma = {}", self.sigma)?;
+        writeln!(
+            f,
+            "landmarks = {} (levels: {:?}), centers = {}",
+            self.landmark_count, self.landmark_level_sizes, self.center_count
+        )?;
+        writeln!(
+            f,
+            "near-small aux graphs: {} nodes, {} edges",
+            self.near_small_nodes, self.near_small_edges
+        )?;
+        writeln!(
+            f,
+            "source-landmark entries = {}, output entries = {}",
+            self.source_landmark_entries, self.output_entries
+        )?;
+        for (name, d) in &self.phases {
+            writeln!(f, "  {name:<28} {:>10.3} ms", d.as_secs_f64() * 1e3)?;
+        }
+        write!(f, "  total {:>10.3} ms", self.total_time().as_secs_f64() * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate() {
+        let mut s = AlgorithmStats::default();
+        let x = s.time_phase("one", || 41 + 1);
+        assert_eq!(x, 42);
+        s.record_phase("two", Duration::from_millis(5));
+        assert_eq!(s.phases.len(), 2);
+        assert!(s.phase("two").unwrap() >= Duration::from_millis(5));
+        assert!(s.phase("missing").is_none());
+        assert!(s.total_time() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn display_contains_the_key_numbers() {
+        let mut s = AlgorithmStats { sigma: 3, landmark_count: 17, ..Default::default() };
+        s.record_phase("sampling", Duration::from_millis(1));
+        let text = format!("{s}");
+        assert!(text.contains("sigma = 3"));
+        assert!(text.contains("landmarks = 17"));
+        assert!(text.contains("sampling"));
+    }
+}

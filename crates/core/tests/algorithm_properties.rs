@@ -1,0 +1,99 @@
+//! Property-based and randomized-stress tests of the core solvers, complementing the in-module
+//! unit tests: invariants of the landmark hierarchy, structural properties of the output, and
+//! agreement between both source→landmark strategies on random inputs.
+
+use msrp_core::{
+    solve_msrp, solve_ssrp, MsrpParams, SampledLevels, SourceToLandmarkStrategy,
+};
+use msrp_graph::{Graph, INFINITE_DISTANCE};
+use msrp_rpath::{compare, single_source_brute_force};
+use proptest::prelude::*;
+
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (4usize..26)
+        .prop_flat_map(|n| {
+            let parents = proptest::collection::vec(0usize..1000, n - 1);
+            let extra = proptest::collection::vec((0usize..n, 0usize..n), 0..(2 * n));
+            (Just(n), parents, extra)
+        })
+        .prop_map(|(n, parents, extra)| {
+            let mut g = Graph::new(n);
+            for (i, p) in parents.iter().enumerate() {
+                let child = i + 1;
+                let _ = g.add_edge_if_absent(p % child, child);
+            }
+            for (u, v) in extra {
+                if u != v {
+                    let _ = g.add_edge_if_absent(u, v);
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    #[test]
+    fn landmark_hierarchy_invariants(n in 2usize..400, sigma in 1usize..16, seed in 0u64..1000) {
+        let params = MsrpParams::default();
+        let forced = vec![0, n - 1];
+        let levels = SampledLevels::sample_seeded(n, sigma, &params, seed, &forced);
+        // Forced vertices are present, priorities point at real levels, and the union is sorted.
+        prop_assert!(levels.contains(0) && levels.contains(n - 1));
+        for &v in levels.all() {
+            let p = levels.priority(v).unwrap();
+            prop_assert!(p < levels.level_count());
+            prop_assert!(levels.level(p).contains(&v));
+        }
+        let mut sorted = levels.all().to_vec();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted.as_slice(), levels.all());
+        prop_assert_eq!(levels.level_count(), params.max_level(n, sigma) + 1);
+    }
+
+    #[test]
+    fn ssrp_output_shape_and_monotonicity(g in connected_graph(), seed in 0u64..50) {
+        let out = solve_ssrp(&g, 0, &MsrpParams::default().with_seed(seed));
+        for t in 0..g.vertex_count() {
+            let depth = out.tree.distance(t).unwrap_or(0) as usize;
+            prop_assert_eq!(out.distances.row(t).len(), if out.tree.is_reachable(t) { depth } else { 0 });
+            for (i, &d) in out.distances.row(t).iter().enumerate() {
+                // Replacement distances are at least the original distance and at least the
+                // length forced by the failed edge's position.
+                prop_assert!(d >= depth as u32 || d == INFINITE_DISTANCE);
+                let _ = i;
+            }
+        }
+    }
+
+    #[test]
+    fn both_strategies_agree_on_random_graphs(g in connected_graph(), seed in 0u64..50) {
+        let n = g.vertex_count();
+        let sources = vec![0, n / 2];
+        let sources: Vec<usize> = if sources[0] == sources[1] { vec![0] } else { sources };
+        let pc = solve_msrp(&g, &sources, &MsrpParams::default().with_seed(seed));
+        let ex = solve_msrp(
+            &g,
+            &sources,
+            &MsrpParams::default().with_seed(seed).with_strategy(SourceToLandmarkStrategy::Exact),
+        );
+        for i in 0..sources.len() {
+            prop_assert_eq!(&pc.per_source[i], &ex.per_source[i]);
+        }
+    }
+
+    #[test]
+    fn msrp_is_exact_on_random_graphs(g in connected_graph(), seed in 0u64..50) {
+        let n = g.vertex_count();
+        let mut sources = vec![0, n / 3, (2 * n) / 3];
+        sources.sort_unstable();
+        sources.dedup();
+        let out = solve_msrp(&g, &sources, &MsrpParams::default().with_seed(seed));
+        for (i, dist) in out.per_source.iter().enumerate() {
+            let truth = single_source_brute_force(&g, &out.trees[i]);
+            let report = compare(&truth, dist);
+            prop_assert!(report.is_exact(), "{:?}", report.mismatches.first());
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Cuckoo hashing (Lemma 5 of the paper; Pagh and Rodler, J. Algorithms 2004).
+//!
+//! The paper stores replacement distances `d(s, r, e)` in "a randomized hash-table with constant
+//! look-up time in the worst case and constant insertion time in expectation", i.e. a cuckoo
+//! hash table. This module implements a straightforward two-table cuckoo map: every key lives
+//! in one of two candidate buckets, lookups probe at most two locations, and insertions evict
+//! along a bounded path, rehashing (with fresh hash functions and/or more capacity) when a cycle
+//! is detected.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+const MAX_EVICTIONS: usize = 64;
+const INITIAL_CAPACITY: usize = 8;
+
+/// A cuckoo hash map with worst-case constant-time lookups.
+///
+/// ```
+/// use msrp_graph::CuckooHashMap;
+///
+/// let mut m = CuckooHashMap::new();
+/// m.insert((1u32, 2u32), 7u64);
+/// m.insert((3, 4), 9);
+/// assert_eq!(m.get(&(1, 2)), Some(&7));
+/// assert_eq!(m.get(&(9, 9)), None);
+/// assert_eq!(m.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CuckooHashMap<K, V> {
+    /// Two tables of buckets. `None` marks an empty slot.
+    tables: [Vec<Option<(K, V)>>; 2],
+    seeds: [u64; 2],
+    len: usize,
+    /// Counts how many full rehashes happened (exposed for the test-suite / experiments).
+    rehash_count: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for CuckooHashMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> CuckooHashMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::with_capacity(INITIAL_CAPACITY)
+    }
+
+    /// Creates an empty map with room for roughly `capacity` entries before growing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let per_table = (capacity.max(INITIAL_CAPACITY)).next_power_of_two();
+        CuckooHashMap {
+            tables: [vec![None; per_table], vec![None; per_table]],
+            seeds: [0x9E37_79B9_7F4A_7C15, 0xC2B2_AE3D_27D4_EB4F],
+            len: 0,
+            rehash_count: 0,
+        }
+    }
+
+    /// Number of stored key/value pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of rehash cycles performed so far.
+    pub fn rehash_count(&self) -> usize {
+        self.rehash_count
+    }
+
+    /// Current total number of slots (both tables).
+    pub fn capacity(&self) -> usize {
+        self.tables[0].len() + self.tables[1].len()
+    }
+
+    /// Looks up `key`, probing at most two buckets.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        for side in 0..2 {
+            let idx = self.bucket(side, key);
+            if let Some((k, v)) = &self.tables[side][idx] {
+                if k == key {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns `true` when the map contains `key`.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key -> value`, returning the previous value if the key was present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        // Update in place if present.
+        for side in 0..2 {
+            let idx = self.bucket(side, &key);
+            if let Some((k, v)) = &mut self.tables[side][idx] {
+                if *k == key {
+                    return Some(std::mem::replace(v, value));
+                }
+            }
+        }
+        if self.len + 1 > self.capacity() / 2 {
+            self.rebuild(self.tables[0].len() * 2, Vec::new());
+        }
+        match self.place((key, value)) {
+            Ok(()) => {}
+            Err(bounced) => {
+                // A cycle was detected: rebuild with fresh hash functions (same size first;
+                // `rebuild` escalates the size automatically if placement keeps failing).
+                self.rebuild(self.tables[0].len(), vec![bounced]);
+            }
+        }
+        self.len += 1;
+        None
+    }
+
+    /// Inserts only if the key is absent or the new value is smaller; used for the
+    /// "relax a candidate replacement distance" pattern in the oracle crate.
+    pub fn insert_min(&mut self, key: K, value: V) -> bool
+    where
+        V: PartialOrd,
+    {
+        match self.get(&key) {
+            Some(existing) if *existing <= value => false,
+            _ => {
+                self.insert(key, value);
+                true
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        for side in 0..2 {
+            let idx = self.bucket(side, key);
+            if let Some((k, _)) = &self.tables[side][idx] {
+                if k == key {
+                    let (_, v) = self.tables[side][idx].take().expect("checked above");
+                    self.len -= 1;
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Iterates over all key/value pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.tables
+            .iter()
+            .flat_map(|t| t.iter())
+            .filter_map(|slot| slot.as_ref().map(|(k, v)| (k, v)))
+    }
+
+    fn bucket(&self, side: usize, key: &K) -> usize {
+        let mut hasher = DefaultHasher::new();
+        self.seeds[side].hash(&mut hasher);
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) & (self.tables[side].len() - 1)
+    }
+
+    /// Attempts to place an entry using cuckoo evictions; on failure returns the entry that
+    /// could not be placed so the caller can rehash and retry.
+    fn place(&mut self, mut entry: (K, V)) -> Result<(), (K, V)> {
+        let mut side = 0;
+        for _ in 0..MAX_EVICTIONS {
+            let idx = self.bucket(side, &entry.0);
+            match self.tables[side][idx].take() {
+                None => {
+                    self.tables[side][idx] = Some(entry);
+                    return Ok(());
+                }
+                Some(evicted) => {
+                    self.tables[side][idx] = Some(entry);
+                    entry = evicted;
+                    side = 1 - side;
+                }
+            }
+        }
+        Err(entry)
+    }
+
+    /// Rebuilds the tables with fresh hash functions, inserting all existing entries plus
+    /// `extra`. If any placement still fails (unlucky hash functions or not enough room), the
+    /// capacity is doubled and the rebuild restarts; termination is guaranteed because the load
+    /// factor eventually drops below any constant.
+    fn rebuild(&mut self, per_table: usize, extra: Vec<(K, V)>) {
+        let mut entries: Vec<(K, V)> = self
+            .tables
+            .iter_mut()
+            .flat_map(|t| t.iter_mut().filter_map(|slot| slot.take()))
+            .collect();
+        entries.extend(extra);
+        let mut size = per_table.max(INITIAL_CAPACITY).next_power_of_two();
+        'attempt: loop {
+            self.rehash_count += 1;
+            let bump = self.rehash_count as u64;
+            self.seeds = [
+                self.seeds[0].wrapping_mul(0x0100_0000_01B3).wrapping_add(bump),
+                self.seeds[1].rotate_left(17).wrapping_add(0x9E37_79B9 ^ bump),
+            ];
+            self.tables = [vec![None; size], vec![None; size]];
+            for entry in entries.iter().cloned() {
+                if self.place(entry).is_err() {
+                    size *= 2;
+                    continue 'attempt;
+                }
+            }
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = CuckooHashMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert("a", 1), None);
+        assert_eq!(m.insert("b", 2), None);
+        assert_eq!(m.insert("a", 3), Some(1));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&"a"), Some(&3));
+        assert_eq!(m.remove(&"a"), Some(3));
+        assert_eq!(m.remove(&"a"), None);
+        assert_eq!(m.len(), 1);
+        assert!(m.contains_key(&"b"));
+        assert!(!m.contains_key(&"a"));
+    }
+
+    #[test]
+    fn many_insertions_match_std_hashmap() {
+        let mut cuckoo = CuckooHashMap::new();
+        let mut reference = HashMap::new();
+        // A deterministic pseudo-random workload with duplicate keys and overwrites.
+        let mut x: u64 = 12345;
+        for i in 0..20_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = x % 4096;
+            cuckoo.insert(key, i);
+            reference.insert(key, i);
+        }
+        assert_eq!(cuckoo.len(), reference.len());
+        for (k, v) in &reference {
+            assert_eq!(cuckoo.get(k), Some(v));
+        }
+        for k in 4096..4200u64 {
+            assert_eq!(cuckoo.get(&k), None);
+        }
+    }
+
+    #[test]
+    fn iteration_visits_every_entry_once() {
+        let mut m = CuckooHashMap::new();
+        for i in 0..500u32 {
+            m.insert(i, i * 2);
+        }
+        let mut seen: Vec<u32> = m.iter().map(|(k, _)| *k).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..500).collect::<Vec<_>>());
+        for (k, v) in m.iter() {
+            assert_eq!(*v, *k * 2);
+        }
+    }
+
+    #[test]
+    fn insert_min_keeps_smallest() {
+        let mut m: CuckooHashMap<u32, u32> = CuckooHashMap::new();
+        assert!(m.insert_min(7, 10));
+        assert!(!m.insert_min(7, 12));
+        assert!(m.insert_min(7, 3));
+        assert_eq!(m.get(&7), Some(&3));
+    }
+
+    #[test]
+    fn grows_beyond_initial_capacity() {
+        let mut m = CuckooHashMap::with_capacity(4);
+        for i in 0..10_000u32 {
+            m.insert(i, i);
+        }
+        assert_eq!(m.len(), 10_000);
+        assert!(m.capacity() >= 10_000);
+        for i in (0..10_000u32).step_by(97) {
+            assert_eq!(m.get(&i), Some(&i));
+        }
+    }
+
+    #[test]
+    fn tuple_keys_like_the_oracle_uses() {
+        let mut m: CuckooHashMap<(u32, u32, u64), u32> = CuckooHashMap::new();
+        for s in 0..10u32 {
+            for t in 0..10u32 {
+                m.insert((s, t, (s * t) as u64), s + t);
+            }
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&(3, 4, 12)), Some(&7));
+        assert_eq!(m.get(&(3, 4, 11)), None);
+    }
+
+    #[test]
+    fn default_constructs_empty() {
+        let m: CuckooHashMap<u8, u8> = CuckooHashMap::default();
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), 2 * INITIAL_CAPACITY);
+    }
+}

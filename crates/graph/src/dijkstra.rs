@@ -1,0 +1,238 @@
+//! Dijkstra's algorithm on directed weighted graphs.
+//!
+//! The MSRP algorithm never runs Dijkstra on the input graph (it is unweighted), but Sections
+//! 7.1, 8.1, 8.2 and 8.3 of the paper all build *auxiliary* weighted digraphs whose shortest
+//! paths encode replacement distances; this module provides the digraph container and the
+//! search those sections run.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Weight/distance type for auxiliary graphs.
+pub type Weight = u64;
+
+/// Distance reported for unreachable auxiliary nodes.
+pub const INFINITE_WEIGHT: Weight = Weight::MAX;
+
+/// A directed graph with non-negative integer edge weights.
+///
+/// ```
+/// use msrp_graph::WeightedDigraph;
+///
+/// let mut g = WeightedDigraph::new(4);
+/// g.add_edge(0, 1, 2);
+/// g.add_edge(1, 2, 2);
+/// g.add_edge(0, 2, 10);
+/// g.add_edge(2, 3, 1);
+/// let d = g.dijkstra(0);
+/// assert_eq!(d.dist[2], 4);
+/// assert_eq!(d.dist[3], 5);
+/// assert_eq!(d.path_to(3), Some(vec![0, 1, 2, 3]));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct WeightedDigraph {
+    adj: Vec<Vec<(usize, Weight)>>,
+    edge_count: usize,
+}
+
+/// The output of a Dijkstra run: distances and a shortest-path tree (predecessors).
+#[derive(Clone, Debug)]
+pub struct DijkstraResult {
+    /// Distance from the source to each node (`INFINITE_WEIGHT` when unreachable).
+    pub dist: Vec<Weight>,
+    /// Predecessor of each node on a shortest path from the source.
+    pub pred: Vec<Option<usize>>,
+    /// The source node.
+    pub source: usize,
+}
+
+impl WeightedDigraph {
+    /// Creates a digraph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        WeightedDigraph { adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Appends a new isolated node and returns its index.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Adds a directed edge `u -> v` with weight `w`.
+    ///
+    /// Parallel edges are allowed (Dijkstra simply keeps the better one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: Weight) {
+        assert!(u < self.adj.len() && v < self.adj.len(), "edge endpoint out of range");
+        self.adj[u].push((v, w));
+        self.edge_count += 1;
+    }
+
+    /// Out-neighbours of `u` with weights.
+    pub fn neighbors(&self, u: usize) -> &[(usize, Weight)] {
+        &self.adj[u]
+    }
+
+    /// Runs Dijkstra from `source` over the whole digraph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn dijkstra(&self, source: usize) -> DijkstraResult {
+        let n = self.adj.len();
+        assert!(source < n, "Dijkstra source out of range");
+        let mut dist = vec![INFINITE_WEIGHT; n];
+        let mut pred: Vec<Option<usize>> = vec![None; n];
+        let mut heap: BinaryHeap<Reverse<(Weight, usize)>> = BinaryHeap::new();
+        dist[source] = 0;
+        heap.push(Reverse((0, source)));
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if d > dist[v] {
+                continue;
+            }
+            for &(w, wt) in &self.adj[v] {
+                let nd = d.saturating_add(wt);
+                if nd < dist[w] {
+                    dist[w] = nd;
+                    pred[w] = Some(v);
+                    heap.push(Reverse((nd, w)));
+                }
+            }
+        }
+        DijkstraResult { dist, pred, source }
+    }
+}
+
+impl DijkstraResult {
+    /// Returns `true` when `v` was reached.
+    pub fn is_reachable(&self, v: usize) -> bool {
+        self.dist[v] != INFINITE_WEIGHT
+    }
+
+    /// Reconstructs the node sequence of a shortest path from the source to `v`.
+    pub fn path_to(&self, v: usize) -> Option<Vec<usize>> {
+        if !self.is_reachable(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.pred[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        if path[0] == self.source {
+            Some(path)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shortest_paths_on_a_small_dag() {
+        let mut g = WeightedDigraph::new(5);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 2, 4);
+        g.add_edge(1, 2, 2);
+        g.add_edge(2, 3, 1);
+        g.add_edge(1, 3, 10);
+        let r = g.dijkstra(0);
+        assert_eq!(r.dist, vec![0, 1, 3, 4, INFINITE_WEIGHT]);
+        assert_eq!(r.path_to(3), Some(vec![0, 1, 2, 3]));
+        assert_eq!(r.path_to(4), None);
+        assert!(!r.is_reachable(4));
+    }
+
+    #[test]
+    fn directionality_is_respected() {
+        let mut g = WeightedDigraph::new(2);
+        g.add_edge(0, 1, 3);
+        let r = g.dijkstra(1);
+        assert_eq!(r.dist[0], INFINITE_WEIGHT);
+        assert_eq!(r.dist[1], 0);
+    }
+
+    #[test]
+    fn parallel_edges_keep_the_cheapest() {
+        let mut g = WeightedDigraph::new(2);
+        g.add_edge(0, 1, 9);
+        g.add_edge(0, 1, 2);
+        g.add_edge(0, 1, 5);
+        let r = g.dijkstra(0);
+        assert_eq!(r.dist[1], 2);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_allowed() {
+        let mut g = WeightedDigraph::new(3);
+        g.add_edge(0, 1, 0);
+        g.add_edge(1, 2, 0);
+        let r = g.dijkstra(0);
+        assert_eq!(r.dist, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn add_node_grows_the_graph() {
+        let mut g = WeightedDigraph::new(1);
+        let a = g.add_node();
+        let b = g.add_node();
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(g.node_count(), 3);
+        g.add_edge(0, b, 7);
+        assert_eq!(g.neighbors(0), &[(2, 7)]);
+    }
+
+    #[test]
+    fn huge_weights_do_not_overflow() {
+        let mut g = WeightedDigraph::new(3);
+        g.add_edge(0, 1, Weight::MAX - 1);
+        g.add_edge(1, 2, Weight::MAX - 1);
+        let r = g.dijkstra(0);
+        // Saturating addition keeps the value at the sentinel rather than wrapping.
+        assert_eq!(r.dist[2], INFINITE_WEIGHT);
+    }
+
+    #[test]
+    fn matches_bfs_on_unit_weights() {
+        // A 4x4 grid digraph with unit weights in both directions behaves like BFS.
+        let idx = |r: usize, c: usize| r * 4 + c;
+        let mut g = WeightedDigraph::new(16);
+        for r in 0..4 {
+            for c in 0..4 {
+                if c + 1 < 4 {
+                    g.add_edge(idx(r, c), idx(r, c + 1), 1);
+                    g.add_edge(idx(r, c + 1), idx(r, c), 1);
+                }
+                if r + 1 < 4 {
+                    g.add_edge(idx(r, c), idx(r + 1, c), 1);
+                    g.add_edge(idx(r + 1, c), idx(r, c), 1);
+                }
+            }
+        }
+        let r = g.dijkstra(0);
+        for row in 0..4 {
+            for col in 0..4 {
+                assert_eq!(r.dist[idx(row, col)], (row + col) as Weight);
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types for graph construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or mutating a [`crate::Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex index was at least the number of vertices in the graph.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// The number of vertices in the graph.
+        vertex_count: usize,
+    },
+    /// An edge connecting a vertex to itself was rejected.
+    SelfLoop {
+        /// The vertex that appeared on both endpoints.
+        vertex: usize,
+    },
+    /// A duplicate of an existing edge was rejected (the graphs are simple).
+    DuplicateEdge {
+        /// One endpoint of the duplicate edge.
+        u: usize,
+        /// The other endpoint of the duplicate edge.
+        v: usize,
+    },
+    /// A request referenced an edge that does not exist in the graph.
+    MissingEdge {
+        /// One endpoint of the requested edge.
+        u: usize,
+        /// The other endpoint of the requested edge.
+        v: usize,
+    },
+    /// A generator was asked for an impossible configuration
+    /// (for example more edges than a simple graph can hold).
+    InvalidParameters {
+        /// Human readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, vertex_count } => write!(
+                f,
+                "vertex {vertex} is out of range for a graph with {vertex_count} vertices"
+            ),
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self loop at vertex {vertex} is not allowed")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "edge ({u}, {v}) already exists")
+            }
+            GraphError::MissingEdge { u, v } => {
+                write!(f, "edge ({u}, {v}) does not exist")
+            }
+            GraphError::InvalidParameters { reason } => {
+                write!(f, "invalid generator parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 7, vertex_count: 5 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('5'));
+        let e = GraphError::SelfLoop { vertex: 3 };
+        assert!(e.to_string().contains('3'));
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains("(1, 2)"));
+        let e = GraphError::MissingEdge { u: 4, v: 9 };
+        assert!(e.to_string().contains("(4, 9)"));
+        let e = GraphError::InvalidParameters { reason: "too many edges".into() };
+        assert!(e.to_string().contains("too many edges"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error>() {}
+        assert_error::<GraphError>();
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            GraphError::SelfLoop { vertex: 1 },
+            GraphError::SelfLoop { vertex: 1 }
+        );
+        assert_ne!(
+            GraphError::SelfLoop { vertex: 1 },
+            GraphError::SelfLoop { vertex: 2 }
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! The undirected, unweighted, simple graph used by every algorithm in the workspace.
+
+use crate::edge::Edge;
+use crate::error::GraphError;
+
+/// Vertices are dense indices in `0..n`.
+pub type Vertex = usize;
+
+/// An undirected, unweighted, simple graph with adjacency lists kept in sorted order.
+///
+/// Sorted adjacency lists make every traversal (and therefore every BFS tree, every canonical
+/// shortest path, and every experiment) deterministic for a given input, which the paper's
+/// per-edge bookkeeping relies on and which keeps the test-suite reproducible.
+///
+/// ```
+/// use msrp_graph::Graph;
+///
+/// # fn main() -> Result<(), msrp_graph::GraphError> {
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1)?;
+/// g.add_edge(1, 2)?;
+/// g.add_edge(2, 3)?;
+/// assert_eq!(g.vertex_count(), 4);
+/// assert_eq!(g.edge_count(), 3);
+/// assert!(g.has_edge(2, 1));
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<Vertex>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Creates a graph with `n` vertices and the given edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any endpoint is out of range, any edge is a self loop, or the edge
+    /// list contains duplicates.
+    pub fn from_edges(n: usize, edges: &[(Vertex, Vertex)]) -> Result<Self, GraphError> {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns an iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
+        0..self.vertex_count()
+    }
+
+    /// Adds an undirected edge between `u` and `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is out of range, if `u == v`, or if the edge already
+    /// exists.
+    pub fn add_edge(&mut self, u: Vertex, v: Vertex) -> Result<(), GraphError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        if self.has_edge(u, v) {
+            return Err(GraphError::DuplicateEdge { u, v });
+        }
+        let pos_u = self.adj[u].binary_search(&v).unwrap_err();
+        self.adj[u].insert(pos_u, v);
+        let pos_v = self.adj[v].binary_search(&u).unwrap_err();
+        self.adj[v].insert(pos_v, u);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Adds the edge if it is not already present; returns whether a new edge was inserted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range endpoints or self loops.
+    pub fn add_edge_if_absent(&mut self, u: Vertex, v: Vertex) -> Result<bool, GraphError> {
+        match self.add_edge(u, v) {
+            Ok(()) => Ok(true),
+            Err(GraphError::DuplicateEdge { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Removes the edge between `u` and `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingEdge`] if the edge is not present.
+    pub fn remove_edge(&mut self, u: Vertex, v: Vertex) -> Result<(), GraphError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let pos_u = self.adj[u].binary_search(&v).map_err(|_| GraphError::MissingEdge { u, v })?;
+        let pos_v = self.adj[v].binary_search(&u).map_err(|_| GraphError::MissingEdge { u, v })?;
+        self.adj[u].remove(pos_u);
+        self.adj[v].remove(pos_v);
+        self.edge_count -= 1;
+        Ok(())
+    }
+
+    /// Returns `true` when the edge `{u, v}` is present.
+    #[inline]
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        if u >= self.vertex_count() || v >= self.vertex_count() {
+            return false;
+        }
+        // Probe the smaller adjacency list.
+        let (a, b) = if self.adj[u].len() <= self.adj[v].len() { (u, v) } else { (v, u) };
+        self.adj[a].binary_search(&b).is_ok()
+    }
+
+    /// The sorted adjacency list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Iterates over all edges, each reported once in normalized order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter().filter(move |&&v| u < v).map(move |&v| Edge::new(u, v))
+        })
+    }
+
+    /// Collects all edges into a vector (normalized, sorted order).
+    pub fn edge_vec(&self) -> Vec<Edge> {
+        self.edges().collect()
+    }
+
+    /// Returns `true` when every vertex is reachable from vertex 0 (vacuously true when empty).
+    pub fn is_connected(&self) -> bool {
+        let n = self.vertex_count();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in self.neighbors(v) {
+                if !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Average degree `2m / n` (0 for an empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.vertex_count() == 0 {
+            0.0
+        } else {
+            2.0 * self.edge_count as f64 / self.vertex_count() as f64
+        }
+    }
+
+    fn check_vertex(&self, v: Vertex) -> Result<(), GraphError> {
+        if v < self.vertex_count() {
+            Ok(())
+        } else {
+            Err(GraphError::VertexOutOfRange { vertex: v, vertex_count: self.vertex_count() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn empty_graph_properties() {
+        let g = Graph::new(0);
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_connected());
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 4).unwrap();
+        g.add_edge(4, 1).unwrap();
+        assert!(g.has_edge(4, 0));
+        assert!(g.has_edge(1, 4));
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.degree(4), 2);
+        assert_eq!(g.neighbors(4), &[0, 1]);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn rejects_self_loops_and_duplicates() {
+        let mut g = Graph::new(3);
+        assert_eq!(g.add_edge(1, 1), Err(GraphError::SelfLoop { vertex: 1 }));
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.add_edge(1, 0), Err(GraphError::DuplicateEdge { u: 1, v: 0 }));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertices() {
+        let mut g = Graph::new(3);
+        assert!(matches!(g.add_edge(0, 3), Err(GraphError::VertexOutOfRange { .. })));
+        assert!(matches!(g.add_edge(9, 0), Err(GraphError::VertexOutOfRange { .. })));
+    }
+
+    #[test]
+    fn add_edge_if_absent_reports_insertion() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge_if_absent(0, 1).unwrap());
+        assert!(!g.add_edge_if_absent(1, 0).unwrap());
+        assert!(matches!(g.add_edge_if_absent(0, 0), Err(GraphError::SelfLoop { .. })));
+    }
+
+    #[test]
+    fn remove_edge_roundtrip() {
+        let mut g = path_graph(4);
+        assert_eq!(g.edge_count(), 3);
+        g.remove_edge(1, 2).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(g.remove_edge(1, 2), Err(GraphError::MissingEdge { u: 1, v: 2 }));
+        g.add_edge(1, 2).unwrap();
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let edges = g.edge_vec();
+        assert_eq!(edges.len(), 5);
+        assert!(edges.contains(&Edge::new(0, 2)));
+        // Normalized and unique.
+        let mut dedup = edges.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), edges.len());
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let mut g = path_graph(6);
+        assert!(g.is_connected());
+        g.remove_edge(2, 3).unwrap();
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn from_edges_matches_incremental_construction() {
+        let edges = [(0, 1), (1, 2), (0, 2), (2, 3)];
+        let g1 = Graph::from_edges(4, &edges).unwrap();
+        let mut g2 = Graph::new(4);
+        for &(u, v) in edges.iter().rev() {
+            g2.add_edge(u, v).unwrap();
+        }
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn average_degree_matches_handshake_lemma() {
+        let g = path_graph(5);
+        assert!((g.average_degree() - 2.0 * 4.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_lists_stay_sorted() {
+        let mut g = Graph::new(6);
+        for &v in &[5, 2, 4, 1, 3] {
+            g.add_edge(0, v).unwrap();
+        }
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
+    }
+}

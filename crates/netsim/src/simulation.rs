@@ -1,0 +1,232 @@
+//! A seeded single-link-failure simulation (experiment E7).
+//!
+//! The scenario follows the MPLS-restoration motivation of the replacement-path literature: a
+//! network carries traffic from a small set of ingress gateways (the σ sources) to arbitrary
+//! destinations; links fail one at a time and are repaired before the next failure (the
+//! single-fault model of the paper). On every failure a batch of routing queries must be
+//! answered. The simulation answers each query twice — through the precomputed replacement-path
+//! oracle and by recomputing a BFS from scratch — and checks that the answers agree, recording
+//! wall-clock time spent on each side.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use msrp_core::MsrpParams;
+use msrp_graph::{bfs_avoiding_edge, Distance, Edge, Graph, Vertex, INFINITE_DISTANCE};
+use msrp_oracle::ReplacementPathOracle;
+
+/// Configuration of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimulationConfig {
+    /// The ingress gateways (sources of the oracle).
+    pub gateways: Vec<Vertex>,
+    /// Number of link failures to inject.
+    pub failures: usize,
+    /// Number of routing queries issued per failure.
+    pub queries_per_failure: usize,
+    /// RNG seed (failures and queries are fully determined by it).
+    pub seed: u64,
+    /// Parameters for the oracle construction.
+    pub params: MsrpParams,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            gateways: vec![0],
+            failures: 20,
+            queries_per_failure: 10,
+            seed: 7,
+            params: MsrpParams::default(),
+        }
+    }
+}
+
+/// One injected failure and the queries answered under it.
+#[derive(Clone, Debug)]
+pub struct FailureEvent {
+    /// The failed link.
+    pub edge: Edge,
+    /// `(gateway, destination, distance under failure)` for every query.
+    pub answers: Vec<(Vertex, Vertex, Distance)>,
+    /// How many of the answered queries lost connectivity entirely.
+    pub disconnected: usize,
+}
+
+/// Aggregate results of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimulationReport {
+    /// The injected failures, in order.
+    pub events: Vec<FailureEvent>,
+    /// Total number of routing queries answered.
+    pub total_queries: usize,
+    /// Queries whose oracle answer differed from recomputation (must be 0 — checked in tests).
+    pub mismatches: usize,
+    /// Queries that became disconnected under the failure.
+    pub disconnected_queries: usize,
+    /// Sum over answered queries of `replacement − baseline` (only finite detours).
+    pub total_stretch: u64,
+    /// Wall-clock time spent constructing the oracle.
+    pub oracle_build_time: Duration,
+    /// Wall-clock time spent answering queries through the oracle.
+    pub oracle_query_time: Duration,
+    /// Wall-clock time spent answering the same queries by re-running BFS.
+    pub recompute_time: Duration,
+}
+
+impl SimulationReport {
+    /// Average extra hops caused by a failure, over queries that stayed connected.
+    pub fn average_stretch(&self) -> f64 {
+        let connected = self.total_queries - self.disconnected_queries;
+        if connected == 0 {
+            0.0
+        } else {
+            self.total_stretch as f64 / connected as f64
+        }
+    }
+
+    /// Speed-up of oracle queries over recomputation (ratio of total times).
+    pub fn query_speedup(&self) -> f64 {
+        let o = self.oracle_query_time.as_secs_f64();
+        if o == 0.0 {
+            f64::INFINITY
+        } else {
+            self.recompute_time.as_secs_f64() / o
+        }
+    }
+}
+
+/// Runs the simulation on `g` with the given configuration.
+///
+/// # Panics
+///
+/// Panics if the configuration has no gateways or the graph has no edges.
+pub fn run_simulation(g: &Graph, config: &SimulationConfig) -> SimulationReport {
+    assert!(!config.gateways.is_empty(), "at least one gateway is required");
+    assert!(g.edge_count() > 0, "the network must have links");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let build_start = Instant::now();
+    let oracle = ReplacementPathOracle::build(g, &config.gateways, &config.params);
+    let oracle_build_time = build_start.elapsed();
+
+    let edges = g.edge_vec();
+    let n = g.vertex_count();
+    let mut events = Vec::with_capacity(config.failures);
+    let mut mismatches = 0;
+    let mut disconnected_queries = 0;
+    let mut total_stretch = 0u64;
+    let mut total_queries = 0;
+    let mut oracle_query_time = Duration::ZERO;
+    let mut recompute_time = Duration::ZERO;
+
+    for _ in 0..config.failures {
+        let edge = edges[rng.gen_range(0..edges.len())];
+        let mut answers = Vec::with_capacity(config.queries_per_failure);
+        let mut event_disconnected = 0;
+        for _ in 0..config.queries_per_failure {
+            let gw = config.gateways[rng.gen_range(0..config.gateways.len())];
+            let dest = rng.gen_range(0..n);
+            total_queries += 1;
+
+            let start = Instant::now();
+            let via_oracle =
+                oracle.replacement_distance(gw, dest, edge).expect("gateway is a source");
+            oracle_query_time += start.elapsed();
+
+            let start = Instant::now();
+            let recomputed = bfs_avoiding_edge(g, gw, edge).dist[dest];
+            recompute_time += start.elapsed();
+
+            if via_oracle != recomputed {
+                mismatches += 1;
+            }
+            if recomputed == INFINITE_DISTANCE {
+                event_disconnected += 1;
+                disconnected_queries += 1;
+            } else if let Some(base) = oracle.distance(gw, dest) {
+                total_stretch += (recomputed - base) as u64;
+            }
+            answers.push((gw, dest, via_oracle));
+        }
+        events.push(FailureEvent { edge, answers, disconnected: event_disconnected });
+    }
+
+    SimulationReport {
+        events,
+        total_queries,
+        mismatches,
+        disconnected_queries,
+        total_stretch,
+        oracle_build_time,
+        oracle_query_time,
+        recompute_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrp_graph::generators::{connected_gnm, grid_graph, path_graph};
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn oracle_and_recomputation_always_agree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = connected_gnm(40, 90, &mut rng).unwrap();
+        let config = SimulationConfig {
+            gateways: vec![0, 13, 27],
+            failures: 25,
+            queries_per_failure: 8,
+            seed: 11,
+            params: MsrpParams::default(),
+        };
+        let report = run_simulation(&g, &config);
+        assert_eq!(report.mismatches, 0);
+        assert_eq!(report.total_queries, 25 * 8);
+        assert_eq!(report.events.len(), 25);
+        assert!(report.average_stretch() >= 0.0);
+        assert!(report.query_speedup() > 0.0);
+        assert!(report.oracle_build_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn bridge_failures_report_disconnections() {
+        let g = path_graph(12);
+        let config = SimulationConfig {
+            gateways: vec![0],
+            failures: 30,
+            queries_per_failure: 4,
+            seed: 3,
+            params: MsrpParams::default(),
+        };
+        let report = run_simulation(&g, &config);
+        assert_eq!(report.mismatches, 0);
+        assert!(report.disconnected_queries > 0, "path graphs disconnect on every failure");
+        let per_event: usize = report.events.iter().map(|e| e.disconnected).sum();
+        assert_eq!(per_event, report.disconnected_queries);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_for_a_seed() {
+        let g = grid_graph(5, 5);
+        let config = SimulationConfig { gateways: vec![0, 24], ..Default::default() };
+        let a = run_simulation(&g, &config);
+        let b = run_simulation(&g, &config);
+        assert_eq!(a.total_queries, b.total_queries);
+        assert_eq!(a.total_stretch, b.total_stretch);
+        let edges_a: Vec<_> = a.events.iter().map(|e| e.edge).collect();
+        let edges_b: Vec<_> = b.events.iter().map(|e| e.edge).collect();
+        assert_eq!(edges_a, edges_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "gateway")]
+    fn empty_gateways_panic() {
+        let g = grid_graph(3, 3);
+        let config = SimulationConfig { gateways: vec![], ..Default::default() };
+        let _ = run_simulation(&g, &config);
+    }
+}

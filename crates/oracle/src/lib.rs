@@ -1,0 +1,266 @@
+//! Single-fault replacement-path distance oracles.
+//!
+//! Bernstein and Karger (STOC 2009) build, for *all* sources, a distance oracle of size `Õ(n²)`
+//! answering `QUERY(x, y, e)` — the length of the shortest `x–y` path avoiding the edge `e` — in
+//! `O(1)` time; the MSRP paper generalizes the preprocessing to an arbitrary number of sources
+//! `σ`. This crate packages the solver output of `msrp-core` behind that query interface:
+//!
+//! * [`ReplacementPathOracle`] — per-source rows indexed by the canonical-path position of the
+//!   avoided edge (compact, cache friendly);
+//! * [`FlatReplacementOracle`] — the same data flattened into a cuckoo hash table keyed by
+//!   `(source, target, edge)`, demonstrating the worst-case `O(1)` lookup structure the paper
+//!   cites (Pagh–Rodler, Lemma 5);
+//! * [`build_exact`](ReplacementPathOracle::build_exact) — a brute-force construction used as
+//!   the ground-truth comparator (the substitution for the full Bernstein–Karger preprocessing,
+//!   see `DESIGN.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use msrp_core::{solve_msrp, MsrpOutput, MsrpParams};
+use msrp_graph::{CuckooHashMap, Distance, Edge, Graph, ShortestPathTree, Vertex, INFINITE_DISTANCE};
+use msrp_rpath::{single_source_brute_force, SourceReplacementDistances};
+
+/// A single-edge-fault distance oracle for a fixed set of sources.
+///
+/// ```
+/// use msrp_graph::{generators::cycle_graph, Edge};
+/// use msrp_oracle::ReplacementPathOracle;
+/// use msrp_core::MsrpParams;
+///
+/// let g = cycle_graph(8);
+/// let oracle = ReplacementPathOracle::build(&g, &[0, 4], &MsrpParams::default());
+/// assert_eq!(oracle.distance(0, 3), Some(3));
+/// assert_eq!(oracle.replacement_distance(0, 3, Edge::new(1, 2)), Some(5));
+/// // Edges off the canonical path do not hurt.
+/// assert_eq!(oracle.replacement_distance(0, 3, Edge::new(5, 6)), Some(3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReplacementPathOracle {
+    sources: Vec<Vertex>,
+    trees: Vec<ShortestPathTree>,
+    distances: Vec<SourceReplacementDistances>,
+}
+
+impl ReplacementPathOracle {
+    /// Builds the oracle by running the paper's MSRP algorithm.
+    pub fn build(g: &Graph, sources: &[Vertex], params: &MsrpParams) -> Self {
+        let out = solve_msrp(g, sources, params);
+        Self::from_msrp_output(out)
+    }
+
+    /// Wraps an existing solver output.
+    pub fn from_msrp_output(out: MsrpOutput) -> Self {
+        ReplacementPathOracle { sources: out.sources, trees: out.trees, distances: out.per_source }
+    }
+
+    /// Builds the oracle by brute force (one BFS per tree edge per source); exact, used as the
+    /// comparator in tests and experiment E5.
+    pub fn build_exact(g: &Graph, sources: &[Vertex]) -> Self {
+        let trees: Vec<_> = sources.iter().map(|&s| ShortestPathTree::build(g, s)).collect();
+        let distances = trees.iter().map(|t| single_source_brute_force(g, t)).collect();
+        ReplacementPathOracle { sources: sources.to_vec(), trees, distances }
+    }
+
+    /// The sources the oracle was built for.
+    pub fn sources(&self) -> &[Vertex] {
+        &self.sources
+    }
+
+    /// Index of `s` among the sources.
+    fn source_index(&self, s: Vertex) -> Option<usize> {
+        self.sources.iter().position(|&x| x == s)
+    }
+
+    /// Fault-free distance from source `s` to `t` (`None` if `s` is not a source or `t` is
+    /// unreachable).
+    pub fn distance(&self, s: Vertex, t: Vertex) -> Option<Distance> {
+        let i = self.source_index(s)?;
+        self.trees[i].distance(t)
+    }
+
+    /// `QUERY(s, t, e)`: length of the shortest `s–t` path avoiding `e`, or `None` when `s` is
+    /// not one of the sources. `Some(INFINITE_DISTANCE)` means the failure disconnects `t`.
+    pub fn replacement_distance(&self, s: Vertex, t: Vertex, e: Edge) -> Option<Distance> {
+        let i = self.source_index(s)?;
+        if !self.trees[i].is_reachable(t) {
+            return Some(INFINITE_DISTANCE);
+        }
+        Some(self.distances[i].distance_avoiding(&self.trees[i], t, e))
+    }
+
+    /// The canonical shortest path from `s` to `t`, if both exist.
+    pub fn canonical_path(&self, s: Vertex, t: Vertex) -> Option<Vec<Vertex>> {
+        let i = self.source_index(s)?;
+        self.trees[i].path_from_source(t)
+    }
+
+    /// Total number of `(s, t, e)` entries stored.
+    pub fn entry_count(&self) -> usize {
+        self.distances.iter().map(|d| d.entry_count()).sum()
+    }
+
+    /// Vickrey-style edge criticality for the `s–t` pair: for every edge on the canonical path,
+    /// the increase in distance its failure causes (`None` when the failure disconnects `t`).
+    ///
+    /// This is the quantity the replacement-path literature uses to price edges owned by selfish
+    /// agents (Nisan–Ronen; Hershberger–Suri), and what `msrp-netsim` builds on.
+    pub fn detour_costs(&self, s: Vertex, t: Vertex) -> Option<Vec<(Edge, Option<Distance>)>> {
+        let i = self.source_index(s)?;
+        let tree = &self.trees[i];
+        let base = tree.distance(t)?;
+        let mut out = Vec::new();
+        for (pos, e) in tree.path_edges(t).iter().enumerate() {
+            let d = self.distances[i].get(t, pos)?;
+            let cost = if d == INFINITE_DISTANCE { None } else { Some(d - base) };
+            out.push((*e, cost));
+        }
+        Some(out)
+    }
+
+    /// Flattens the oracle into a cuckoo-hashed `(s, t, e) → d` table.
+    pub fn flatten(&self) -> FlatReplacementOracle {
+        FlatReplacementOracle::from_oracle(self)
+    }
+}
+
+/// The oracle flattened into a single cuckoo hash table with worst-case `O(1)` probes
+/// (Lemma 5 of the paper).
+#[derive(Clone, Debug)]
+pub struct FlatReplacementOracle {
+    table: CuckooHashMap<(u32, u32, u64), Distance>,
+    base: CuckooHashMap<(u32, u32), Distance>,
+    sources: Vec<Vertex>,
+}
+
+impl FlatReplacementOracle {
+    /// Builds the flat table from a structured oracle.
+    pub fn from_oracle(oracle: &ReplacementPathOracle) -> Self {
+        let mut table = CuckooHashMap::with_capacity(2 * oracle.entry_count() + 16);
+        let mut base = CuckooHashMap::new();
+        for (i, &s) in oracle.sources.iter().enumerate() {
+            let tree = &oracle.trees[i];
+            for t in 0..tree.vertex_count() {
+                if let Some(d) = tree.distance(t) {
+                    base.insert((s as u32, t as u32), d);
+                }
+                for (pos, e) in tree.path_edges(t).iter().enumerate() {
+                    if let Some(d) = oracle.distances[i].get(t, pos) {
+                        table.insert((s as u32, t as u32, e.as_key()), d);
+                    }
+                }
+            }
+        }
+        FlatReplacementOracle { table, base, sources: oracle.sources.clone() }
+    }
+
+    /// `QUERY(s, t, e)` with two hash probes: the stored entry when `e` is on the canonical
+    /// path, the fault-free distance otherwise.
+    pub fn query(&self, s: Vertex, t: Vertex, e: Edge) -> Option<Distance> {
+        if !self.sources.contains(&s) {
+            return None;
+        }
+        if let Some(&d) = self.table.get(&(s as u32, t as u32, e.as_key())) {
+            return Some(d);
+        }
+        match self.base.get(&(s as u32, t as u32)) {
+            Some(&d) => Some(d),
+            None => Some(INFINITE_DISTANCE),
+        }
+    }
+
+    /// Number of `(s, t, e)` entries stored.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` when no replacement entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrp_graph::generators::{connected_gnm, cycle_graph, grid_graph, path_graph};
+    use msrp_rpath::replacement_distance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn oracle_matches_exact_construction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = connected_gnm(28, 64, &mut rng).unwrap();
+        let sources = [0usize, 9, 17];
+        let fast = ReplacementPathOracle::build(&g, &sources, &MsrpParams::default());
+        let exact = ReplacementPathOracle::build_exact(&g, &sources);
+        for &s in &sources {
+            for t in 0..g.vertex_count() {
+                for e in g.edges() {
+                    assert_eq!(
+                        fast.replacement_distance(s, t, e),
+                        exact.replacement_distance(s, t, e),
+                        "s={s} t={t} e={e}"
+                    );
+                }
+            }
+        }
+        assert_eq!(fast.entry_count(), exact.entry_count());
+    }
+
+    #[test]
+    fn queries_for_non_sources_return_none() {
+        let g = cycle_graph(6);
+        let oracle = ReplacementPathOracle::build_exact(&g, &[0]);
+        assert_eq!(oracle.replacement_distance(3, 5, Edge::new(0, 1)), None);
+        assert_eq!(oracle.distance(3, 5), None);
+        assert_eq!(oracle.canonical_path(3, 5), None);
+        assert_eq!(oracle.sources(), &[0]);
+    }
+
+    #[test]
+    fn disconnections_are_reported_as_infinite() {
+        let g = path_graph(5);
+        let oracle = ReplacementPathOracle::build_exact(&g, &[0]);
+        assert_eq!(oracle.replacement_distance(0, 4, Edge::new(2, 3)), Some(INFINITE_DISTANCE));
+        let costs = oracle.detour_costs(0, 4).unwrap();
+        assert!(costs.iter().all(|(_, c)| c.is_none()));
+    }
+
+    #[test]
+    fn detour_costs_match_definition() {
+        let g = cycle_graph(8);
+        let oracle = ReplacementPathOracle::build_exact(&g, &[0]);
+        let costs = oracle.detour_costs(0, 3).unwrap();
+        assert_eq!(costs.len(), 3);
+        for (e, c) in costs {
+            let truth = replacement_distance(&g, 0, 3, e);
+            assert_eq!(c, Some(truth - 3));
+        }
+    }
+
+    #[test]
+    fn flat_oracle_agrees_with_structured_oracle() {
+        let g = grid_graph(4, 4);
+        let oracle = ReplacementPathOracle::build(&g, &[0, 15], &MsrpParams::default());
+        let flat = oracle.flatten();
+        assert_eq!(flat.len(), oracle.entry_count());
+        assert!(!flat.is_empty());
+        for &s in oracle.sources() {
+            for t in 0..g.vertex_count() {
+                for e in g.edges() {
+                    assert_eq!(flat.query(s, t, e), oracle.replacement_distance(s, t, e));
+                }
+            }
+        }
+        assert_eq!(flat.query(7, 0, Edge::new(0, 1)), None);
+    }
+
+    #[test]
+    fn canonical_paths_are_exposed() {
+        let g = cycle_graph(7);
+        let oracle = ReplacementPathOracle::build_exact(&g, &[2]);
+        assert_eq!(oracle.canonical_path(2, 4), Some(vec![2, 3, 4]));
+    }
+}

@@ -1,0 +1,131 @@
+//! Exhaustive ground truth: remove the edge, rerun BFS.
+//!
+//! These routines are quadratic-or-worse and exist for two reasons: (1) every other algorithm in
+//! the workspace is validated against them (unit tests, property tests, experiment E3), and
+//! (2) they are the "recompute from scratch" baseline the benchmarks compare against.
+
+use msrp_graph::{bfs_avoiding_edge, Distance, Edge, Graph, ShortestPathTree, Vertex};
+
+use crate::distances::SourceReplacementDistances;
+
+/// The replacement distance `|st ⋄ e|` computed by a single BFS in `G \ {e}`.
+///
+/// `e` does not have to lie on the shortest `s–t` path (in that case the result simply equals
+/// `d_{G\e}(s, t)`, which may or may not equal `d(s, t)`).
+///
+/// ```
+/// use msrp_graph::{generators::cycle_graph, Edge};
+/// use msrp_rpath::replacement_distance;
+///
+/// let g = cycle_graph(6);
+/// assert_eq!(replacement_distance(&g, 0, 2, Edge::new(1, 2)), 4);
+/// ```
+pub fn replacement_distance(g: &Graph, s: Vertex, t: Vertex, e: Edge) -> Distance {
+    bfs_avoiding_edge(g, s, e).dist[t]
+}
+
+/// Ground-truth single-source replacement paths: for every target `t` and every edge `e_i` on
+/// the canonical `s–t` path, the exact value of `|st ⋄ e_i|`.
+///
+/// Runs one BFS per tree edge of `tree` (so `O(n·(m + n))` time), then distributes the result to
+/// every target whose canonical path uses that edge.
+///
+/// # Panics
+///
+/// Panics if `tree` is not rooted at a vertex of `g`.
+pub fn single_source_brute_force(g: &Graph, tree: &ShortestPathTree) -> SourceReplacementDistances {
+    let n = g.vertex_count();
+    let s = tree.source();
+    assert!(s < n, "tree root out of range for the graph");
+    let mut out = SourceReplacementDistances::new(tree);
+    // Every edge on some canonical path is a tree edge (p, c); its position on the path to any
+    // affected target is depth(c) - 1, and the affected targets are exactly the descendants of c.
+    for c in 0..n {
+        let p = match tree.parent(c) {
+            Some(p) => p,
+            None => continue,
+        };
+        let e = Edge::new(p, c);
+        let pos = tree.distance_or_infinite(c) as usize - 1;
+        let alt = bfs_avoiding_edge(g, s, e);
+        for t in 0..n {
+            if tree.is_reachable(t) && tree.is_ancestor(c, t) {
+                out.set(t, pos, alt.dist[t]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrp_graph::generators::{cycle_graph, grid_graph, path_graph};
+    use msrp_graph::INFINITE_DISTANCE;
+
+    #[test]
+    fn cycle_replacements_go_the_long_way() {
+        let g = cycle_graph(8);
+        let tree = ShortestPathTree::build(&g, 0);
+        let out = single_source_brute_force(&g, &tree);
+        // Path 0-1-2-3: avoiding any edge on it forces the complementary arc of length 8 - d.
+        assert_eq!(out.get(3, 0), Some(5));
+        assert_eq!(out.get(3, 1), Some(5));
+        assert_eq!(out.get(3, 2), Some(5));
+        assert_eq!(out.get(1, 0), Some(7));
+    }
+
+    #[test]
+    fn bridges_have_no_replacement() {
+        let g = path_graph(5);
+        let tree = ShortestPathTree::build(&g, 0);
+        let out = single_source_brute_force(&g, &tree);
+        for t in 1..5 {
+            for i in 0..out.row(t).len() {
+                assert_eq!(out.get(t, i), Some(INFINITE_DISTANCE));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_replacements_detour_by_two() {
+        let g = grid_graph(3, 3);
+        let tree = ShortestPathTree::build(&g, 0);
+        let out = single_source_brute_force(&g, &tree);
+        // Distances in a grid detour around a single missing edge with +2 at most
+        // (and exactly +2 for the first edge of a straight-line path).
+        let d03 = tree.distance(3).unwrap();
+        let r = out.get(3, 0).unwrap();
+        assert_eq!(r, d03 + 2);
+    }
+
+    #[test]
+    fn matches_per_query_brute_force() {
+        let g = grid_graph(3, 4);
+        let tree = ShortestPathTree::build(&g, 0);
+        let out = single_source_brute_force(&g, &tree);
+        for t in 0..g.vertex_count() {
+            let edges = tree.path_edges(t);
+            for (i, e) in edges.iter().enumerate() {
+                assert_eq!(out.get(t, i), Some(replacement_distance(&g, 0, t, *e)));
+            }
+        }
+    }
+
+    #[test]
+    fn replacement_distance_for_off_path_edges() {
+        let g = cycle_graph(6);
+        // Removing (3, 4) does not affect the path from 0 to 2.
+        assert_eq!(replacement_distance(&g, 0, 2, Edge::new(3, 4)), 2);
+    }
+
+    #[test]
+    fn disconnected_graph_rows_are_empty() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let tree = ShortestPathTree::build(&g, 0);
+        let out = single_source_brute_force(&g, &tree);
+        assert!(out.row(3).is_empty());
+        assert!(out.row(4).is_empty());
+        assert_eq!(out.get(2, 0), Some(INFINITE_DISTANCE));
+    }
+}

@@ -1,0 +1,201 @@
+//! The output representation shared by every replacement-path algorithm in the workspace.
+
+use msrp_graph::{Distance, Edge, ShortestPathTree, Vertex, INFINITE_DISTANCE};
+
+/// Replacement distances from a single source to every target, indexed by the position of the
+/// avoided edge on the canonical (BFS-tree) shortest path.
+///
+/// For a target `t` at depth `k` in the source's BFS tree, `row(t)` has length `k`; its `i`-th
+/// entry is `|st ⋄ e_i|`, the length of the shortest `s–t` path avoiding the `i`-th edge of the
+/// canonical path (`INFINITE_DISTANCE` when removing that edge disconnects `t` from `s`).
+/// Unreachable targets (and the source itself) have empty rows.
+///
+/// This matches the problem statement in the paper: replacement paths are only asked for edges
+/// *on* the `st` path, and the total output size is `Θ(Σ_t depth(t))`, which is the source of
+/// the `σ n²` term in the paper's running time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceReplacementDistances {
+    source: Vertex,
+    base: Vec<Distance>,
+    per_target: Vec<Vec<Distance>>,
+}
+
+impl SourceReplacementDistances {
+    /// Creates a table with every entry initialised to `INFINITE_DISTANCE`, sized according to
+    /// the canonical tree `tree` (which must be rooted at the source).
+    pub fn new(tree: &ShortestPathTree) -> Self {
+        let n = tree.vertex_count();
+        let mut per_target = Vec::with_capacity(n);
+        for t in 0..n {
+            let len = match tree.distance(t) {
+                Some(d) => d as usize,
+                None => 0,
+            };
+            per_target.push(vec![INFINITE_DISTANCE; len]);
+        }
+        SourceReplacementDistances {
+            source: tree.source(),
+            base: tree.distances().to_vec(),
+            per_target,
+        }
+    }
+
+    /// The source vertex.
+    pub fn source(&self) -> Vertex {
+        self.source
+    }
+
+    /// Number of vertices in the underlying graph.
+    pub fn vertex_count(&self) -> usize {
+        self.per_target.len()
+    }
+
+    /// The ordinary (no-failure) distance from the source to `t`, if `t` is reachable.
+    pub fn base_distance(&self, t: Vertex) -> Option<Distance> {
+        let d = self.base[t];
+        if d == INFINITE_DISTANCE {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// The replacement distance avoiding the `i`-th edge of the canonical path to `t`.
+    ///
+    /// Returns `None` when `i` is out of range for `t` (including unreachable targets); returns
+    /// `Some(INFINITE_DISTANCE)` when the entry exists but no replacement path does.
+    pub fn get(&self, t: Vertex, i: usize) -> Option<Distance> {
+        self.per_target.get(t)?.get(i).copied()
+    }
+
+    /// The row of replacement distances for target `t` (may be empty).
+    pub fn row(&self, t: Vertex) -> &[Distance] {
+        &self.per_target[t]
+    }
+
+    /// Sets the entry for `(t, i)` unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range for `t`.
+    pub fn set(&mut self, t: Vertex, i: usize, d: Distance) {
+        self.per_target[t][i] = d;
+    }
+
+    /// Lowers the entry for `(t, i)` to `d` if `d` is smaller; returns whether it changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range for `t`.
+    pub fn relax(&mut self, t: Vertex, i: usize, d: Distance) -> bool {
+        if d < self.per_target[t][i] {
+            self.per_target[t][i] = d;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Replacement distance for an arbitrary edge: if `e` lies on the canonical path to `t` the
+    /// stored entry is returned, otherwise the failure does not affect the canonical path and
+    /// the ordinary distance is returned. This is the query the fault-tolerant oracles expose.
+    pub fn distance_avoiding(&self, tree: &ShortestPathTree, t: Vertex, e: Edge) -> Distance {
+        match tree.edge_position_on_path(t, e) {
+            Some(i) => self.per_target[t][i],
+            None => self.base[t],
+        }
+    }
+
+    /// Total number of `(target, edge)` entries stored.
+    pub fn entry_count(&self) -> usize {
+        self.per_target.iter().map(|r| r.len()).sum()
+    }
+
+    /// Number of entries that are still `INFINITE_DISTANCE`.
+    pub fn infinite_entry_count(&self) -> usize {
+        self.per_target
+            .iter()
+            .map(|r| r.iter().filter(|&&d| d == INFINITE_DISTANCE).count())
+            .sum()
+    }
+
+    /// Iterates over `(target, edge_index, distance)` for every stored entry.
+    pub fn iter(&self) -> impl Iterator<Item = (Vertex, usize, Distance)> + '_ {
+        self.per_target
+            .iter()
+            .enumerate()
+            .flat_map(|(t, row)| row.iter().enumerate().map(move |(i, &d)| (t, i, d)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrp_graph::generators::{cycle_graph, path_graph};
+    use msrp_graph::Graph;
+
+    fn tree_of(g: &Graph, s: Vertex) -> ShortestPathTree {
+        ShortestPathTree::build(g, s)
+    }
+
+    #[test]
+    fn sizes_follow_tree_depths() {
+        let g = cycle_graph(7);
+        let tree = tree_of(&g, 0);
+        let d = SourceReplacementDistances::new(&tree);
+        assert_eq!(d.source(), 0);
+        assert_eq!(d.vertex_count(), 7);
+        assert_eq!(d.row(0).len(), 0);
+        assert_eq!(d.row(3).len(), 3);
+        assert_eq!(d.row(5).len(), 2);
+        assert_eq!(d.entry_count(), 0 + 1 + 2 + 3 + 3 + 2 + 1);
+        assert_eq!(d.infinite_entry_count(), d.entry_count());
+    }
+
+    #[test]
+    fn unreachable_targets_have_empty_rows() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let tree = tree_of(&g, 0);
+        let d = SourceReplacementDistances::new(&tree);
+        assert!(d.row(2).is_empty());
+        assert_eq!(d.get(2, 0), None);
+        assert_eq!(d.base_distance(2), None);
+        assert_eq!(d.base_distance(1), Some(1));
+    }
+
+    #[test]
+    fn set_relax_and_get() {
+        let g = cycle_graph(5);
+        let tree = tree_of(&g, 0);
+        let mut d = SourceReplacementDistances::new(&tree);
+        assert_eq!(d.get(2, 0), Some(INFINITE_DISTANCE));
+        d.set(2, 0, 9);
+        assert_eq!(d.get(2, 0), Some(9));
+        assert!(d.relax(2, 0, 4));
+        assert!(!d.relax(2, 0, 7));
+        assert_eq!(d.get(2, 0), Some(4));
+        assert_eq!(d.get(2, 5), None);
+    }
+
+    #[test]
+    fn distance_avoiding_off_path_edges_returns_base() {
+        let g = cycle_graph(6);
+        let tree = tree_of(&g, 0);
+        let mut d = SourceReplacementDistances::new(&tree);
+        d.set(2, 0, 4);
+        d.set(2, 1, 4);
+        // Edge (3, 4) is not on the canonical path 0-1-2.
+        assert_eq!(d.distance_avoiding(&tree, 2, Edge::new(3, 4)), 2);
+        assert_eq!(d.distance_avoiding(&tree, 2, Edge::new(0, 1)), 4);
+    }
+
+    #[test]
+    fn iterator_covers_every_entry() {
+        let g = path_graph(4);
+        let tree = tree_of(&g, 0);
+        let d = SourceReplacementDistances::new(&tree);
+        let entries: Vec<_> = d.iter().collect();
+        assert_eq!(entries.len(), d.entry_count());
+        assert!(entries.contains(&(3, 2, INFINITE_DISTANCE)));
+    }
+}

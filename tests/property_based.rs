@@ -1,0 +1,87 @@
+//! Property-based tests (proptest) over random graphs: the randomized solvers must agree with
+//! the brute-force ground truth, and structural invariants of the output must hold.
+
+use msrp::core::{solve_msrp, solve_ssrp, MsrpParams};
+use msrp::graph::{Graph, ShortestPathTree, INFINITE_DISTANCE};
+use msrp::rpath::{compare, single_source_brute_force, single_source_via_single_pair};
+use proptest::prelude::*;
+
+/// Strategy: a connected graph with `n ∈ [4, 28]` vertices built from a random spanning tree
+/// plus a set of random extra edges, together with a vertex index usable as a source.
+fn connected_graph() -> impl Strategy<Value = (Graph, usize)> {
+    (4usize..28)
+        .prop_flat_map(|n| {
+            let tree_parents = proptest::collection::vec(0usize..1000, n - 1);
+            let extra = proptest::collection::vec((0usize..n, 0usize..n), 0..(2 * n));
+            let source = 0usize..n;
+            (Just(n), tree_parents, extra, source)
+        })
+        .prop_map(|(n, parents, extra, source)| {
+            let mut g = Graph::new(n);
+            for (i, p) in parents.iter().enumerate() {
+                let child = i + 1;
+                let parent = p % child;
+                let _ = g.add_edge_if_absent(parent, child);
+            }
+            for (u, v) in extra {
+                if u != v {
+                    let _ = g.add_edge_if_absent(u, v);
+                }
+            }
+            (g, source)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ssrp_matches_brute_force_on_random_connected_graphs((g, source) in connected_graph()) {
+        let out = solve_ssrp(&g, source, &MsrpParams::default());
+        let truth = single_source_brute_force(&g, &out.tree);
+        let report = compare(&truth, &out.distances);
+        prop_assert!(report.is_exact(), "mismatch: {:?}", report.mismatches.first());
+    }
+
+    #[test]
+    fn classical_baseline_matches_brute_force((g, source) in connected_graph()) {
+        let tree = ShortestPathTree::build(&g, source);
+        let truth = single_source_brute_force(&g, &tree);
+        let fast = single_source_via_single_pair(&g, &tree);
+        prop_assert!(compare(&truth, &fast).is_exact());
+    }
+
+    #[test]
+    fn msrp_matches_brute_force_with_three_sources((g, source) in connected_graph()) {
+        let n = g.vertex_count();
+        let mut sources = vec![source, (source + n / 3) % n, (source + 2 * n / 3) % n];
+        sources.sort_unstable();
+        sources.dedup();
+        let out = solve_msrp(&g, &sources, &MsrpParams::default());
+        for (i, dist) in out.per_source.iter().enumerate() {
+            let truth = single_source_brute_force(&g, &out.trees[i]);
+            let report = compare(&truth, dist);
+            prop_assert!(report.is_exact(), "source {}: {:?}", out.sources[i], report.mismatches.first());
+        }
+    }
+
+    #[test]
+    fn replacement_distances_are_never_shorter_than_the_original((g, source) in connected_graph()) {
+        let out = solve_ssrp(&g, source, &MsrpParams::default());
+        for (t, _i, d) in out.distances.iter() {
+            if let Some(base) = out.tree.distance(t) {
+                prop_assert!(d == INFINITE_DISTANCE || d >= base,
+                    "replacement {} shorter than base {} for target {}", d, base, t);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_constants_never_under_estimate((g, source) in connected_graph()) {
+        let params = MsrpParams::scaled_for_benchmarks();
+        let out = solve_ssrp(&g, source, &params);
+        let truth = single_source_brute_force(&g, &out.tree);
+        let report = compare(&truth, &out.distances);
+        prop_assert_eq!(report.under_estimates, 0);
+    }
+}

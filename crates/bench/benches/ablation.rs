@@ -11,7 +11,10 @@ use msrp_core::{solve_msrp, MsrpParams, SourceToLandmarkStrategy};
 
 fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let n = 192;
     let sigma = 8;
     let g = standard_graph(WorkloadKind::SparseRandom, n, 23);

@@ -12,7 +12,10 @@ use msrp_core::MsrpParams;
 
 fn bench_bmm(c: &mut Criterion) {
     let mut group = c.benchmark_group("bmm_reduction");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let mut rng = StdRng::seed_from_u64(1);
     for &n in &[16usize, 24, 32] {
         let a = BoolMatrix::random(n, 0.15, &mut rng);

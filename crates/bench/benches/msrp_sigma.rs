@@ -13,7 +13,10 @@ use msrp_rpath::single_source_brute_force;
 
 fn bench_msrp_sigma(c: &mut Criterion) {
     let mut group = c.benchmark_group("msrp_sigma");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let n = 256;
     let g = standard_graph(WorkloadKind::SparseRandom, n, 7);
     for &sigma in &[1usize, 2, 4, 8] {
@@ -26,14 +29,18 @@ fn bench_msrp_sigma(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("exact_tables", sigma), &sigma, |b, _| {
             b.iter(|| solve_msrp(&g, &sources, &exact))
         });
-        group.bench_with_input(BenchmarkId::new("per_source_brute_force", sigma), &sigma, |b, _| {
-            b.iter(|| {
-                for &s in &sources {
-                    let tree = ShortestPathTree::build(&g, s);
-                    let _ = single_source_brute_force(&g, &tree);
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("per_source_brute_force", sigma),
+            &sigma,
+            |b, _| {
+                b.iter(|| {
+                    for &s in &sources {
+                        let tree = ShortestPathTree::build(&g, s);
+                        let _ = single_source_brute_force(&g, &tree);
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -14,7 +14,10 @@ use msrp_oracle::ReplacementPathOracle;
 
 fn bench_oracle(c: &mut Criterion) {
     let mut group = c.benchmark_group("oracle_queries");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let n = 256;
     let g = standard_graph(WorkloadKind::SparseRandom, n, 11);
     let sources = evenly_spaced_sources(n, 8);

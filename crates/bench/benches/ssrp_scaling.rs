@@ -12,7 +12,10 @@ use msrp_rpath::{single_source_brute_force, single_source_via_single_pair};
 
 fn bench_ssrp(c: &mut Criterion) {
     let mut group = c.benchmark_group("ssrp_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for &n in &[128usize, 256, 512] {
         let g = standard_graph(WorkloadKind::SparseRandom, n, 42);
         let tree = ShortestPathTree::build(&g, 0);

@@ -13,7 +13,10 @@ use msrp_rpath::single_pair_replacement_paths;
 
 fn bench_substrate(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let g = standard_graph(WorkloadKind::SparseRandom, 1024, 3);
     let tree = ShortestPathTree::build(&g, 0);
     let dist_to_target = bfs_distances(&g, 777);

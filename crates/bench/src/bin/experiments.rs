@@ -25,10 +25,20 @@ use msrp_rpath::{single_source_brute_force, single_source_via_single_pair};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+const EXPERIMENT_IDS: [&str; 7] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7"];
+
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let which: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    if let Some(unknown) = which.iter().find(|id| **id != "all" && !EXPERIMENT_IDS.contains(id)) {
+        eprintln!(
+            "error: unknown experiment `{unknown}` (expected one of: {}, all)",
+            EXPERIMENT_IDS.join(", ")
+        );
+        std::process::exit(2);
+    }
     let all = which.is_empty() || which.contains(&"all");
 
     let run = |id: &str| all || which.contains(&id);
@@ -63,8 +73,14 @@ fn bench_params() -> MsrpParams {
 fn experiment_e1(quick: bool) {
     println!("\n=== E1: single-source scaling (Theorem 14) ===");
     let sizes: &[usize] = if quick { &[128, 256] } else { &[128, 256, 512, 1024, 2048] };
-    let mut table =
-        Table::new(["n", "m", "brute force (s)", "classical per-target (s)", "paper SSRP (s)", "speedup vs classical"]);
+    let mut table = Table::new([
+        "n",
+        "m",
+        "brute force (s)",
+        "classical per-target (s)",
+        "paper SSRP (s)",
+        "speedup vs classical",
+    ]);
     for &n in sizes {
         let g = standard_graph(WorkloadKind::SparseRandom, n, 42);
         let tree = ShortestPathTree::build(&g, 0);
@@ -122,7 +138,8 @@ fn experiment_e3(quick: bool) {
     println!("\n=== E3: exactness of the randomized algorithm ===");
     let trials = if quick { 3 } else { 10 };
     let n = if quick { 48 } else { 96 };
-    let mut table = Table::new(["parameters", "kind", "entries checked", "exact entries", "under-estimates"]);
+    let mut table =
+        Table::new(["parameters", "kind", "entries checked", "exact entries", "under-estimates"]);
     for (label, params) in [("paper", MsrpParams::default()), ("scaled", bench_params())] {
         for kind in [WorkloadKind::SparseRandom, WorkloadKind::Grid] {
             let mut total = 0usize;
@@ -154,8 +171,7 @@ fn experiment_e3(quick: bool) {
 fn experiment_e4(quick: bool) {
     println!("\n=== E4: BMM via the MSRP reduction (Theorem 2/28) ===");
     let sizes: &[usize] = if quick { &[12, 16] } else { &[16, 24, 32, 48] };
-    let mut table =
-        Table::new(["n", "density", "naive BMM (s)", "via MSRP (s)", "products agree"]);
+    let mut table = Table::new(["n", "density", "naive BMM (s)", "via MSRP (s)", "products agree"]);
     let mut rng = StdRng::seed_from_u64(3);
     for &n in sizes {
         let density = 0.15;
@@ -179,7 +195,13 @@ fn experiment_e5(quick: bool) {
     println!("\n=== E5: fault-tolerant oracle build and query latency ===");
     let n = if quick { 128 } else { 384 };
     let g = standard_graph(WorkloadKind::SparseRandom, n, 11);
-    let mut table = Table::new(["sigma", "build via MSRP (s)", "build exact (s)", "oracle query (ns)", "BFS recompute (ns)"]);
+    let mut table = Table::new([
+        "sigma",
+        "build via MSRP (s)",
+        "build exact (s)",
+        "oracle query (ns)",
+        "BFS recompute (ns)",
+    ]);
     for &sigma in &[2usize, 8, 32] {
         let sources = evenly_spaced_sources(n, sigma);
         let (oracle, build_fast) =
@@ -229,7 +251,14 @@ fn experiment_e6(quick: bool) {
     let sigma = 8;
     let g = standard_graph(WorkloadKind::SparseRandom, n, 23);
     let sources = evenly_spaced_sources(n, sigma);
-    let mut table = Table::new(["configuration", "time (s)", "landmarks", "centers", "exact entries", "total entries"]);
+    let mut table = Table::new([
+        "configuration",
+        "time (s)",
+        "landmarks",
+        "centers",
+        "exact entries",
+        "total entries",
+    ]);
     let configs: Vec<(&str, MsrpParams)> = vec![
         ("path-cover / scaled", bench_params()),
         ("exact tables / scaled", bench_params().with_strategy(SourceToLandmarkStrategy::Exact)),
@@ -264,7 +293,9 @@ fn experiment_e7(quick: bool) {
         "avg stretch",
         "oracle query speedup",
     ]);
-    for kind in [WorkloadKind::SparseRandom, WorkloadKind::Grid, WorkloadKind::PreferentialAttachment] {
+    for kind in
+        [WorkloadKind::SparseRandom, WorkloadKind::Grid, WorkloadKind::PreferentialAttachment]
+    {
         let g: Graph = standard_graph(kind, n, 31);
         let config = SimulationConfig {
             gateways: evenly_spaced_sources(g.vertex_count(), 4),

@@ -123,8 +123,9 @@ impl BoolMatrix {
             for k in 0..self.n {
                 if (a_row[k / 64] >> (k % 64)) & 1 == 1 {
                     let b_row = &other.bits[k * other.words_per_row..(k + 1) * other.words_per_row];
-                    for w in 0..self.words_per_row {
-                        c.bits[c_row + w] |= b_row[w];
+                    let c_words = &mut c.bits[c_row..c_row + self.words_per_row];
+                    for (cw, &bw) in c_words.iter_mut().zip(b_row) {
+                        *cw |= bw;
                     }
                 }
             }

@@ -233,7 +233,10 @@ mod tests {
         let plan = ReductionPlan::for_size(n, 2);
         let g = GadgetGraph::build(&a, &b, 0, &plan);
         // 3n matrix vertices + O(σ q²) gadget vertices = O(n) per the theorem.
-        assert!(g.graph.vertex_count() <= 3 * n + 2 * plan.sigma * plan.rows_per_source * (plan.rows_per_source + 2));
+        assert!(
+            g.graph.vertex_count()
+                <= 3 * n + 2 * plan.sigma * plan.rows_per_source * (plan.rows_per_source + 2)
+        );
         assert_eq!(g.sources.len(), plan.sigma);
         assert!(g.row_count() <= plan.rows_per_batch());
         assert!(g.spine_length() >= 1);

@@ -67,7 +67,12 @@ mod tests {
 
     /// Parameters shrunk so that a 40-cycle actually has far edges.
     fn tiny_params() -> MsrpParams {
-        MsrpParams { near_constant: 1.0, log_scale: 0.2, sampling_constant: 4.0, ..MsrpParams::default() }
+        MsrpParams {
+            near_constant: 1.0,
+            log_scale: 0.2,
+            sampling_constant: 4.0,
+            ..MsrpParams::default()
+        }
     }
 
     #[test]

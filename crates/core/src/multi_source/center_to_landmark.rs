@@ -41,9 +41,8 @@ pub fn small_paths_through_centers(
             }
             // Near edges on the canonical s–r path that have a small-path label.
             for (pos, e) in tree_s.path_edges(r).iter().enumerate() {
-                let child = tree_s
-                    .deeper_endpoint(*e)
-                    .expect("canonical path edges are tree edges");
+                let child =
+                    tree_s.deeper_endpoint(*e).expect("canonical path edges are tree edges");
                 debug_assert_eq!(pos, tree_s.distance_or_infinite(child) as usize - 1);
                 let Some(path) = near.small_path(tree_s, r, child) else { continue };
                 let total = path.len() - 1;
@@ -52,9 +51,7 @@ pub fn small_paths_through_centers(
                         continue;
                     }
                     let suffix = (total - offset) as Distance;
-                    out.entry((x, r, *e))
-                        .and_modify(|d| *d = (*d).min(suffix))
-                        .or_insert(suffix);
+                    out.entry((x, r, *e)).and_modify(|d| *d = (*d).min(suffix)).or_insert(suffix);
                 }
             }
         }
@@ -169,8 +166,7 @@ mod tests {
         let g = connected_gnm(n, 2 * n, &mut rng).unwrap();
         let sources = vec![0usize, n / 2];
         let sigma = sources.len();
-        let landmarks =
-            SampledLevels::sample_seeded(n, sigma, params, params.seed, &sources);
+        let landmarks = SampledLevels::sample_seeded(n, sigma, params, params.seed, &sources);
         let landmark_index = BfsIndex::build(&g, landmarks.all());
         let mut forced: Vec<Vertex> = sources.clone();
         forced.extend_from_slice(landmarks.all());

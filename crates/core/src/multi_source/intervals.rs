@@ -72,10 +72,7 @@ pub fn decompose_path(path: &[Vertex], centers: &SampledLevels) -> Vec<Interval>
         return Vec::new();
     }
     let anchors = anchor_positions(path, centers);
-    anchors
-        .windows(2)
-        .map(|w| Interval { start_pos: w[0], end_pos: w[1] })
-        .collect()
+    anchors.windows(2).map(|w| Interval { start_pos: w[0], end_pos: w[1] }).collect()
 }
 
 /// Index of the interval containing the edge at position `pos`, assuming `intervals` partition
@@ -182,7 +179,12 @@ mod tests {
             4 => 9,
             _ => INFINITE_DISTANCE,
         };
-        let inputs = MtcInputs { path: &path, anchors: &anchors, center_to_landmark: &c2l, source_to_center: &s2c };
+        let inputs = MtcInputs {
+            path: &path,
+            anchors: &anchors,
+            center_to_landmark: &c2l,
+            source_to_center: &s2c,
+        };
         assert_eq!(mtc_value(&inputs, 1), 5);
         // Edge at position 3: anchors before it are 0 and 2; the best is min(0+7, 2+INF, 9+0)...
         // anchor 4 is after? position 3 edge spans (3,4); anchor 4 > 3 so it counts as "after".
@@ -195,7 +197,12 @@ mod tests {
         let anchors = vec![0usize, 2];
         let c2l = |_c: Vertex, _e: Edge| INFINITE_DISTANCE;
         let s2c = |_c: Vertex, _child: Vertex| INFINITE_DISTANCE;
-        let inputs = MtcInputs { path: &path, anchors: &anchors, center_to_landmark: &c2l, source_to_center: &s2c };
+        let inputs = MtcInputs {
+            path: &path,
+            anchors: &anchors,
+            center_to_landmark: &c2l,
+            source_to_center: &s2c,
+        };
         assert_eq!(mtc_value(&inputs, 0), INFINITE_DISTANCE);
     }
 }

@@ -26,7 +26,9 @@ mod source_to_center;
 pub use center_to_landmark::{
     center_to_landmark_replacements, small_paths_through_centers, CenterLandmarkMap,
 };
-pub use intervals::{anchor_positions, decompose_path, interval_of_edge, mtc_value, Interval, MtcInputs};
+pub use intervals::{
+    anchor_positions, decompose_path, interval_of_edge, mtc_value, Interval, MtcInputs,
+};
 pub use source_to_center::{source_to_center_replacements, SourceCenterMap};
 
 use std::collections::HashMap;
@@ -89,7 +91,15 @@ pub fn build_path_cover_table(
             .iter()
             .zip(inputs.near_small.iter())
             .map(|(tree_s, near)| {
-                source_to_center_replacements(g, tree_s, &centers, &center_index, near, params, sigma)
+                source_to_center_replacements(
+                    g,
+                    tree_s,
+                    &centers,
+                    &center_index,
+                    near,
+                    params,
+                    sigma,
+                )
             })
             .collect()
     });
@@ -219,8 +229,9 @@ fn assemble_source_rows(
         for iv in &intervals_per[r_idx] {
             let mut best_pos = iv.start_pos;
             let mut best_val = 0u64;
-            for pos in iv.start_pos..iv.end_pos {
-                let v = mtc_per[r_idx][pos] as u64;
+            for (pos, &mtc) in mtc_per[r_idx].iter().enumerate().take(iv.end_pos).skip(iv.start_pos)
+            {
+                let v = mtc as u64;
                 if v >= best_val {
                     best_val = v;
                     best_pos = pos;
@@ -235,18 +246,18 @@ fn assemble_source_rows(
     // Node 0 = [s]; nodes [r] per landmark; nodes [s, r, i] per (landmark, interval).
     let mut aux = WeightedDigraph::new(1);
     let mut landmark_node: Vec<Option<usize>> = vec![None; landmark_count];
-    for r_idx in 0..landmark_count {
+    for (r_idx, node) in landmark_node.iter_mut().enumerate() {
         let r = landmark_index.vertices()[r_idx];
         if !tree_s.is_reachable(r) {
             continue;
         }
         let idx = aux.add_node();
-        landmark_node[r_idx] = Some(idx);
+        *node = Some(idx);
         aux.add_edge(0, idx, tree_s.distance_or_infinite(r) as u64);
     }
     let mut interval_node: HashMap<(usize, usize), usize> = HashMap::new();
-    for r_idx in 0..landmark_count {
-        for i in 0..intervals_per[r_idx].len() {
+    for (r_idx, ivs) in intervals_per.iter().enumerate() {
+        for i in 0..ivs.len() {
             let idx = aux.add_node();
             interval_node.insert((r_idx, i), idx);
         }
@@ -361,7 +372,11 @@ fn assemble_source_rows(
 /// Algorithm-4-style refinement of one source's rows: relax every `(r, e)` entry through every
 /// level-0 landmark `r'` whose canonical path to `r` avoids `e`. Entries only decrease and every
 /// candidate is a valid path length.
-fn refine_rows(inputs: &PathCoverInputs<'_>, tree_s: &ShortestPathTree, rows: &mut [Vec<Distance>]) {
+fn refine_rows(
+    inputs: &PathCoverInputs<'_>,
+    tree_s: &ShortestPathTree,
+    rows: &mut [Vec<Distance>],
+) {
     let landmark_index = inputs.landmark_index;
     let level0 = inputs.landmarks.level(0);
     // Process landmarks in increasing order of distance from the source so that most

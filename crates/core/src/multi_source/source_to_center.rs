@@ -44,7 +44,8 @@ pub fn source_to_center_replacements(
     let n = g.vertex_count();
     let s = tree_s.source();
 
-    let mut aux = WeightedDigraph::new(1); // node 0 = [s]
+    // Node 0 = [s].
+    let mut aux = WeightedDigraph::new(1);
     // [c] nodes.
     let mut center_node: HashMap<Vertex, usize> = HashMap::new();
     for &c in centers.all() {
@@ -126,7 +127,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn run(g: &Graph, s: Vertex, params: &MsrpParams, sigma: usize) -> (ShortestPathTree, SourceCenterMap) {
+    fn run(
+        g: &Graph,
+        s: Vertex,
+        params: &MsrpParams,
+        sigma: usize,
+    ) -> (ShortestPathTree, SourceCenterMap) {
         let tree = ShortestPathTree::build(g, s);
         let centers =
             SampledLevels::sample_seeded(g.vertex_count(), sigma, params, params.seed ^ 1, &[s]);

@@ -53,7 +53,8 @@ pub fn relax_near_large(
             if r_tree.path_contains_edge(target, e) {
                 continue;
             }
-            let candidate = dist_add(view.replacement(r_idx, e), r_tree.distance_or_infinite(target));
+            let candidate =
+                dist_add(view.replacement(r_idx, e), r_tree.distance_or_infinite(target));
             out.relax(target, i, candidate);
         }
     }

@@ -70,11 +70,11 @@ pub fn build_near_small(
     aux.add_node();
     // Plain nodes [v] for every reachable vertex.
     let mut plain_node: Vec<Option<usize>> = vec![None; n];
-    for v in 0..n {
+    for (v, node) in plain_node.iter_mut().enumerate() {
         if tree_s.is_reachable(v) {
             let idx = aux.add_node();
             nodes.push(AuxNode::Plain(v));
-            plain_node[v] = Some(idx);
+            *node = Some(idx);
             aux.add_edge(0, idx, tree_s.distance_or_infinite(v) as u64);
         }
     }

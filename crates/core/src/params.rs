@@ -149,8 +149,9 @@ impl MsrpParams {
     /// The Section 8 window: how many edges (counted from the center's side) a priority-`k`
     /// center is responsible for, `ℓ · 2^k · X`.
     pub fn window_size(&self, k: usize, n: usize, sigma: usize) -> usize {
-        (self.window_constant * (1u64 << k.min(62)) as f64 * self.base_unit(n, sigma)).ceil().max(1.0)
-            as usize
+        (self.window_constant * (1u64 << k.min(62)) as f64 * self.base_unit(n, sigma))
+            .ceil()
+            .max(1.0) as usize
     }
 }
 

@@ -179,7 +179,12 @@ mod tests {
         // must remain a valid path length (>= the true replacement distance).
         let mut rng = StdRng::seed_from_u64(5);
         let g = connected_gnm(40, 80, &mut rng).unwrap();
-        let params = MsrpParams { sampling_constant: 0.05, log_scale: 0.1, near_constant: 0.5, ..MsrpParams::default() };
+        let params = MsrpParams {
+            sampling_constant: 0.05,
+            log_scale: 0.1,
+            near_constant: 0.5,
+            ..MsrpParams::default()
+        };
         let out = solve_ssrp(&g, 0, &params);
         let truth = single_source_brute_force(&g, &out.tree);
         let report = compare(&truth, &out.distances);

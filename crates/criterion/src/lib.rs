@@ -1,0 +1,408 @@
+//! Offline shim for the subset of the `criterion` 0.5 API used by this workspace.
+//!
+//! The build environment has no network access, so the real `criterion` crate cannot be
+//! fetched from crates.io. This shim keeps the six bench targets compiling and producing
+//! honest wall-clock measurements:
+//!
+//! * [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`] with the methods the
+//!   benches call (`benchmark_group`, `sample_size`, `measurement_time`, `warm_up_time`,
+//!   `bench_function`, `bench_with_input`, `finish`, `iter`);
+//! * [`criterion_group!`] / [`criterion_main!`];
+//! * [`black_box`] (re-exported from `std::hint`).
+//!
+//! Measurement model: each benchmark is warmed up for the configured warm-up time, an
+//! iteration count is calibrated so one sample lasts roughly `measurement_time /
+//! sample_size`, and `sample_size` samples of mean-per-iteration wall time are collected.
+//! The median / min / max are printed in a criterion-like format. There is no statistical
+//! regression analysis, HTML report, or saved baseline comparison.
+//!
+//! When the `CRITERION_SUMMARY` environment variable names a file, one JSON line per
+//! benchmark (`{"id": ..., "median_ns": ..., ...}`) is appended to it — the experiment
+//! harness uses this to snapshot `BENCH_baseline.json`.
+//!
+//! Command-line behaviour: `--test` (passed by `cargo test` to `harness = false` targets)
+//! runs every benchmark exactly once; a positional argument filters benchmarks by
+//! substring; all other flags are accepted and ignored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The identifier of a parameterized benchmark: a function name plus a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/param`.
+    pub fn new<S: Into<String>, P: Display>(name: S, param: P) -> Self {
+        BenchmarkId { name: name.into(), param: param.to_string() }
+    }
+}
+
+/// Either a plain string id or a [`BenchmarkId`]; mirrors criterion's `IntoBenchmarkId`.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark id.
+    fn into_id_string(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id_string(self) -> String {
+        if self.param.is_empty() {
+            self.name
+        } else {
+            format!("{}/{}", self.name, self.param)
+        }
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id_string(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id_string(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` `iters` times and records the total elapsed wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct Cli {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Cli {
+    fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        // Criterion flags that consume a separate value argument; the value must not be
+        // mistaken for the positional benchmark filter.
+        const VALUE_FLAGS: [&str; 12] = [
+            "--save-baseline",
+            "--baseline",
+            "--load-baseline",
+            "--sample-size",
+            "--measurement-time",
+            "--warm-up-time",
+            "--significance-level",
+            "--noise-threshold",
+            "--confidence-level",
+            "--nresamples",
+            "--color",
+            "--profile-time",
+        ];
+        let mut cli = Cli::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => cli.test_mode = true,
+                s if VALUE_FLAGS.contains(&s) => {
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {} // accept and ignore other criterion/libtest flags
+                s => cli.filter = Some(s.to_string()),
+            }
+        }
+        cli
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+    cli: Cli,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--test`, substring filter); mirrors criterion.
+    pub fn configure_from_args(mut self) -> Self {
+        self.cli = Cli::from_args();
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let config = self.config;
+        BenchmarkGroup { criterion: self, name: name.into(), config }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let config = self.config;
+        run_benchmark(self, None, id, config, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let (name, config) = (self.name.clone(), self.config);
+        run_benchmark(self.criterion, Some(&name), &id.into_id_string(), config, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I, D, F>(&mut self, id: I, input: &D, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &D),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; all output is already flushed).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    config: Config,
+    mut routine: F,
+) {
+    let full_id = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if let Some(filter) = &criterion.cli.filter {
+        if !full_id.contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    let mut run = |iters: u64| -> Duration {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO, _marker: std::marker::PhantomData };
+        routine(&mut b);
+        b.elapsed
+    };
+
+    if criterion.cli.test_mode {
+        run(1);
+        println!("{full_id}: test run ok");
+        return;
+    }
+
+    // Warm up and calibrate: grow the iteration count until a batch exceeds the warm-up
+    // time, giving an estimate of the per-iteration cost.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let t = run(iters);
+        if t >= config.warm_up_time || iters >= 1 << 30 {
+            break t.as_secs_f64() / iters as f64;
+        }
+        iters = iters.saturating_mul(2);
+    };
+
+    let sample_target = config.measurement_time.as_secs_f64() / config.sample_size as f64;
+    let iters_per_sample = ((sample_target / per_iter.max(1e-12)) as u64).clamp(1, 1 << 32);
+
+    let mut samples_ns: Vec<f64> = (0..config.sample_size)
+        .map(|_| run(iters_per_sample).as_secs_f64() * 1e9 / iters_per_sample as f64)
+        .collect();
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = samples_ns[samples_ns.len() / 2];
+    let min = samples_ns[0];
+    let max = samples_ns[samples_ns.len() - 1];
+
+    println!(
+        "{full_id:<50} time: [{} {} {}]  ({} samples × {} iters)",
+        format_ns(min),
+        format_ns(median),
+        format_ns(max),
+        config.sample_size,
+        iters_per_sample
+    );
+
+    if let Ok(path) = std::env::var("CRITERION_SUMMARY") {
+        if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                file,
+                "{{\"id\": \"{full_id}\", \"median_ns\": {median:.1}, \"min_ns\": {min:.1}, \
+                 \"max_ns\": {max:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+                config.sample_size, iters_per_sample
+            );
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        assert_eq!(BenchmarkId::new("solve", 128).into_id_string(), "solve/128");
+        assert_eq!("plain".into_id_string(), "plain");
+    }
+
+    #[test]
+    fn bencher_measures_the_requested_iterations() {
+        let mut count = 0u64;
+        let mut b = Bencher { iters: 37, elapsed: Duration::ZERO, _marker: Default::default() };
+        b.iter(|| count += 1);
+        assert_eq!(count, 37);
+        assert!(b.elapsed > Duration::ZERO || count == 37);
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks_in_test_mode() {
+        let mut c = Criterion::default();
+        c.cli.test_mode = true;
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2)
+                .measurement_time(Duration::from_millis(1))
+                .warm_up_time(Duration::from_millis(1));
+            g.bench_function("a", |b| b.iter(|| runs += 1));
+            g.bench_with_input(BenchmarkId::new("b", 1), &1, |b, &x| b.iter(|| runs += x));
+            g.finish();
+        }
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn filters_skip_non_matching_benchmarks() {
+        let mut c = Criterion::default();
+        c.cli.test_mode = true;
+        c.cli.filter = Some("match_me".to_string());
+        let mut runs = 0;
+        c.bench_function("other", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+        c.bench_function("match_me_too", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn value_taking_flags_do_not_become_the_filter() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let cli = Cli::parse(args(&["--save-baseline", "main", "--sample-size", "50"]));
+        assert_eq!(cli.filter, None);
+        assert!(!cli.test_mode);
+        let cli = Cli::parse(args(&["--save-baseline", "main", "bfs", "--test"]));
+        assert_eq!(cli.filter.as_deref(), Some("bfs"));
+        assert!(cli.test_mode);
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert_eq!(format_ns(12.5), "12.50 ns");
+        assert_eq!(format_ns(12_500.0), "12.50 µs");
+        assert_eq!(format_ns(12_500_000.0), "12.50 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+}

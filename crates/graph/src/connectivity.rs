@@ -98,8 +98,7 @@ pub fn analyze_connectivity(g: &Graph) -> ConnectivityReport {
     }
 
     bridges.sort_unstable();
-    let articulation_points: Vec<Vertex> =
-        (0..n).filter(|&v| articulation[v]).collect();
+    let articulation_points: Vec<Vertex> = (0..n).filter(|&v| articulation[v]).collect();
 
     // 2-edge-connected components: connected components of G minus the bridges.
     let mut component = vec![usize::MAX; n];
@@ -183,11 +182,8 @@ mod tests {
     #[test]
     fn barbell_graph_has_one_bridge() {
         // Two triangles connected by a single edge.
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+            .unwrap();
         let r = analyze_connectivity(&g);
         assert_eq!(r.bridges, vec![Edge::new(2, 3)]);
         assert_eq!(r.articulation_points, vec![2, 3]);

@@ -92,13 +92,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            GraphError::SelfLoop { vertex: 1 },
-            GraphError::SelfLoop { vertex: 1 }
-        );
-        assert_ne!(
-            GraphError::SelfLoop { vertex: 1 },
-            GraphError::SelfLoop { vertex: 2 }
-        );
+        assert_eq!(GraphError::SelfLoop { vertex: 1 }, GraphError::SelfLoop { vertex: 1 });
+        assert_ne!(GraphError::SelfLoop { vertex: 1 }, GraphError::SelfLoop { vertex: 2 });
     }
 }

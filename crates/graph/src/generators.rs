@@ -86,7 +86,11 @@ pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph, Gr
 /// # Errors
 ///
 /// Returns an error if `m < n - 1` (cannot be connected) or `m` exceeds `n(n-1)/2`.
-pub fn connected_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph, GraphError> {
+pub fn connected_gnm<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
     if n == 0 {
         return Ok(Graph::new(0));
     }
@@ -233,7 +237,11 @@ pub fn hypercube(d: u32) -> Graph {
 /// # Errors
 ///
 /// Returns an error if `k == 0` or `k >= n`.
-pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Result<Graph, GraphError> {
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
     if k == 0 || k >= n.max(1) {
         return Err(GraphError::InvalidParameters {
             reason: format!("preferential attachment needs 0 < k < n (k = {k}, n = {n})"),

@@ -46,11 +46,11 @@ pub mod generators;
 pub use bfs::{bfs, bfs_avoiding_edge, bfs_distances, BfsResult};
 pub use connectivity::{analyze_connectivity, ConnectivityReport};
 pub use cuckoo::CuckooHashMap;
-pub use metrics::{diameter_lower_bound, graph_metrics, GraphMetrics};
 pub use dijkstra::{DijkstraResult, WeightedDigraph, INFINITE_WEIGHT};
 pub use distance::{dist_add, dist_add3, dist_min, is_finite, Distance, INFINITE_DISTANCE};
 pub use edge::Edge;
 pub use error::GraphError;
 pub use graph::{Graph, Vertex};
 pub use lca::LcaIndex;
+pub use metrics::{diameter_lower_bound, graph_metrics, GraphMetrics};
 pub use tree::ShortestPathTree;

@@ -70,12 +70,7 @@ pub fn graph_metrics(g: &Graph) -> GraphMetrics {
     // Radius over the component with the largest eccentricities (the "main" component): take the
     // minimum eccentricity among vertices whose eccentricity equals their component's maximum
     // reach; simpler and adequate: minimum nonzero eccentricity, or 0 for trivial graphs.
-    let radius = eccentricity
-        .iter()
-        .copied()
-        .filter(|&e| e > 0)
-        .min()
-        .unwrap_or(0);
+    let radius = eccentricity.iter().copied().filter(|&e| e > 0).min().unwrap_or(0);
     let degrees: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
     GraphMetrics {
         vertex_count: n,
@@ -105,11 +100,7 @@ pub fn diameter_lower_bound(g: &Graph, start: Vertex) -> Distance {
         .max_by_key(|(_, &d)| d)
         .map(|(v, _)| v)
         .unwrap_or(start);
-    bfs_distances(g, far)
-        .into_iter()
-        .filter(|&d| d != INFINITE_DISTANCE)
-        .max()
-        .unwrap_or(0)
+    bfs_distances(g, far).into_iter().filter(|&d| d != INFINITE_DISTANCE).max().unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -1,0 +1,263 @@
+//! Edge-case coverage the seed suites miss: `CuckooHashMap` insert/evict/rehash cycles,
+//! generator validity (connectivity of `connected_gnm`, degree bounds of
+//! `barabasi_albert`), and `Edge` canonicalization.
+//!
+//! All randomness is pinned through `StdRng::seed_from_u64` so every run is reproducible.
+
+use std::collections::HashMap;
+
+use msrp_graph::generators::{barabasi_albert, connected_gnm, gnm, gnp};
+use msrp_graph::{CuckooHashMap, Edge};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// --- CuckooHashMap: eviction chains, rehash cycles, churn. ---
+
+#[test]
+fn rehashes_are_triggered_by_growth_and_preserve_entries() {
+    let mut m: CuckooHashMap<u64, u64> = CuckooHashMap::with_capacity(4);
+    assert_eq!(m.rehash_count(), 0);
+    for i in 0..4096u64 {
+        m.insert(i, i.wrapping_mul(0x9E37));
+    }
+    // Growing from 4 slots to >= 4096 entries must have rebuilt the tables repeatedly.
+    assert!(m.rehash_count() >= 1, "no rehash for a 1000x growth");
+    assert!(m.capacity() >= 2 * 4096, "load factor above 1/2: capacity {}", m.capacity());
+    for i in 0..4096u64 {
+        assert_eq!(m.get(&i), Some(&i.wrapping_mul(0x9E37)));
+    }
+}
+
+#[test]
+fn eviction_chains_keep_all_colliding_keys_retrievable() {
+    // Sequential u64 keys hash into a small table, forcing long cuckoo eviction chains
+    // right below the growth threshold. Insert up to exactly half capacity each round.
+    let mut m: CuckooHashMap<u64, usize> = CuckooHashMap::with_capacity(8);
+    for round in 0..12usize {
+        let limit = m.capacity() / 2;
+        for k in 0..limit as u64 {
+            m.insert(k, round);
+        }
+        for k in 0..limit as u64 {
+            assert_eq!(m.get(&k), Some(&round), "round {round}, key {k}");
+        }
+    }
+}
+
+#[test]
+fn remove_reinsert_churn_matches_model() {
+    let mut rng = StdRng::seed_from_u64(0xC4124);
+    let mut cuckoo: CuckooHashMap<(u32, u32), u64> = CuckooHashMap::with_capacity(4);
+    let mut model: HashMap<(u32, u32), u64> = HashMap::new();
+    for step in 0..20_000usize {
+        let key = (rng.gen_range(0u32..64), rng.gen_range(0u32..8));
+        match rng.gen_range(0usize..10) {
+            0..=5 => {
+                let v = rng.gen_range(0u64..1_000_000);
+                assert_eq!(cuckoo.insert(key, v), model.insert(key, v), "step {step}");
+            }
+            6..=7 => {
+                assert_eq!(cuckoo.remove(&key), model.remove(&key), "step {step}");
+            }
+            8 => {
+                let v = rng.gen_range(0u64..1_000_000);
+                let expected = match model.get(&key) {
+                    Some(&existing) if existing <= v => false,
+                    _ => {
+                        model.insert(key, v);
+                        true
+                    }
+                };
+                assert_eq!(cuckoo.insert_min(key, v), expected, "step {step}");
+            }
+            _ => {
+                assert_eq!(cuckoo.get(&key), model.get(&key), "step {step}");
+            }
+        }
+        assert_eq!(cuckoo.len(), model.len(), "step {step}");
+    }
+    let mut from_iter: Vec<((u32, u32), u64)> = cuckoo.iter().map(|(k, v)| (*k, *v)).collect();
+    let mut from_model: Vec<((u32, u32), u64)> = model.into_iter().collect();
+    from_iter.sort_unstable();
+    from_model.sort_unstable();
+    assert_eq!(from_iter, from_model);
+}
+
+#[test]
+fn emptied_map_is_reusable() {
+    let mut m: CuckooHashMap<u32, u32> = CuckooHashMap::new();
+    for i in 0..1000 {
+        m.insert(i, i);
+    }
+    for i in 0..1000 {
+        assert_eq!(m.remove(&i), Some(i));
+    }
+    assert!(m.is_empty());
+    assert_eq!(m.iter().count(), 0);
+    for i in 0..1000 {
+        assert_eq!(m.insert(i, i + 1), None);
+    }
+    assert_eq!(m.len(), 1000);
+    assert_eq!(m.get(&37), Some(&38));
+}
+
+#[test]
+fn clones_are_independent() {
+    let mut a: CuckooHashMap<u32, u32> = CuckooHashMap::new();
+    a.insert(1, 10);
+    let mut b = a.clone();
+    b.insert(1, 20);
+    b.insert(2, 30);
+    assert_eq!(a.get(&1), Some(&10));
+    assert_eq!(a.get(&2), None);
+    assert_eq!(b.get(&1), Some(&20));
+    assert_eq!(b.len(), 2);
+}
+
+// --- Generator validity. ---
+
+#[test]
+fn connected_gnm_is_connected_across_densities_and_seeds() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Spanning tree only, mid density, and complete graph.
+        for &(n, m) in &[(2, 1), (17, 16), (40, 39), (40, 100), (12, 66)] {
+            let g = connected_gnm(n, m, &mut rng).unwrap();
+            assert_eq!(g.vertex_count(), n, "seed {seed}, n {n}, m {m}");
+            assert_eq!(g.edge_count(), m, "seed {seed}, n {n}, m {m}");
+            assert!(g.is_connected(), "seed {seed}, n {n}, m {m} is disconnected");
+        }
+    }
+}
+
+#[test]
+fn connected_gnm_handles_degenerate_sizes() {
+    let mut rng = StdRng::seed_from_u64(1);
+    assert_eq!(connected_gnm(0, 0, &mut rng).unwrap().vertex_count(), 0);
+    let single = connected_gnm(1, 0, &mut rng).unwrap();
+    assert_eq!(single.vertex_count(), 1);
+    assert_eq!(single.edge_count(), 0);
+    assert!(single.is_connected());
+    // m below the spanning-tree bound or above the simple-graph bound must fail.
+    assert!(connected_gnm(5, 3, &mut rng).is_err());
+    assert!(connected_gnm(5, 11, &mut rng).is_err());
+}
+
+#[test]
+fn connected_gnm_is_deterministic_per_seed() {
+    let a = connected_gnm(60, 140, &mut StdRng::seed_from_u64(9)).unwrap();
+    let b = connected_gnm(60, 140, &mut StdRng::seed_from_u64(9)).unwrap();
+    let c = connected_gnm(60, 140, &mut StdRng::seed_from_u64(10)).unwrap();
+    assert_eq!(a, b);
+    assert_ne!(a, c, "different seeds produced identical 60/140 graphs");
+}
+
+#[test]
+fn gnm_handles_empty_and_tiny_graphs() {
+    let mut rng = StdRng::seed_from_u64(4);
+    assert_eq!(gnm(0, 0, &mut rng).unwrap().vertex_count(), 0);
+    assert_eq!(gnm(5, 0, &mut rng).unwrap().edge_count(), 0);
+    assert_eq!(gnm(1, 0, &mut rng).unwrap().edge_count(), 0);
+    assert!(gnm(1, 1, &mut rng).is_err());
+    // Dense regime goes through the shuffle path; exact count must still hold.
+    let dense = gnm(16, 100, &mut rng).unwrap();
+    assert_eq!(dense.edge_count(), 100);
+}
+
+#[test]
+fn gnp_rejects_invalid_probabilities() {
+    let mut rng = StdRng::seed_from_u64(4);
+    assert!(gnp(10, -0.1, &mut rng).is_err());
+    assert!(gnp(10, f64::NAN, &mut rng).is_err());
+    assert!(gnp(10, 1.1, &mut rng).is_err());
+}
+
+#[test]
+fn barabasi_albert_degree_bounds_hold() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for &(n, k) in &[(30, 1), (60, 2), (120, 5)] {
+            let g = barabasi_albert(n, k, &mut rng).unwrap();
+            assert_eq!(g.vertex_count(), n);
+            assert!(g.is_connected(), "seed {seed}, n {n}, k {k} is disconnected");
+            let clique = k + 1;
+            // Seed-clique vertices start with degree k; every later vertex attaches to
+            // exactly k distinct earlier vertices, so degree >= k holds for all.
+            for v in 0..n {
+                assert!(
+                    g.degree(v) >= k,
+                    "seed {seed}, n {n}, k {k}: vertex {v} has degree {}",
+                    g.degree(v)
+                );
+            }
+            // Edge count: the seed clique plus k edges per later vertex.
+            assert_eq!(g.edge_count(), clique * (clique - 1) / 2 + (n - clique) * k);
+        }
+    }
+}
+
+#[test]
+fn barabasi_albert_attaches_to_distinct_targets() {
+    let g = barabasi_albert(50, 3, &mut StdRng::seed_from_u64(77)).unwrap();
+    // Simple graph: no duplicate edges means each later vertex found 3 distinct targets.
+    let mut seen = std::collections::HashSet::new();
+    for e in g.edges() {
+        assert!(seen.insert(e), "duplicate edge {e}");
+    }
+}
+
+// --- Edge canonicalization. ---
+
+#[test]
+fn edge_key_packs_lo_hi_injectively() {
+    let e = Edge::new(70_000, 3);
+    assert_eq!(e.as_key() >> 32, 3);
+    assert_eq!(e.as_key() & 0xFFFF_FFFF, 70_000);
+    assert_eq!(Edge::new(3, 70_000).as_key(), e.as_key());
+    assert_ne!(Edge::new(3, 70_001).as_key(), e.as_key());
+}
+
+#[test]
+fn edge_ordering_is_lexicographic_on_normalized_endpoints() {
+    let mut edges = [Edge::new(5, 1), Edge::new(0, 9), Edge::new(2, 1), Edge::new(0, 2)];
+    edges.sort_unstable();
+    let pairs: Vec<(usize, usize)> = edges.iter().map(|e| e.endpoints()).collect();
+    assert_eq!(pairs, vec![(0, 2), (0, 9), (1, 2), (1, 5)]);
+}
+
+#[test]
+fn edge_equality_survives_hashing() {
+    let mut set = std::collections::HashSet::new();
+    for u in 0..20usize {
+        for v in 0..20usize {
+            if u != v {
+                set.insert(Edge::new(u, v));
+            }
+        }
+    }
+    // Both orientations collapse to one canonical edge.
+    assert_eq!(set.len(), 20 * 19 / 2);
+    assert!(set.contains(&Edge::new(19, 0)));
+    assert!(set.contains(&Edge::new(0, 19)));
+}
+
+#[test]
+fn edge_incidence_against_random_pairs() {
+    let mut rng = StdRng::seed_from_u64(0xED6E2);
+    for _ in 0..200 {
+        let u = rng.gen_range(0usize..500);
+        let v = rng.gen_range(0usize..500);
+        if u == v {
+            continue;
+        }
+        let e = Edge::new(u, v);
+        assert_eq!(e.lo(), u.min(v));
+        assert_eq!(e.hi(), u.max(v));
+        assert!(e.is_incident(u) && e.is_incident(v));
+        assert!(!e.is_incident(u.max(v) + 1));
+        assert_eq!(e.other(u), Some(v));
+        assert_eq!(e.other(v), Some(u));
+        assert_eq!(e.other(u.max(v) + 1), None);
+        assert!(e.shares_endpoint(&e));
+    }
+}

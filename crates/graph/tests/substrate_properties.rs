@@ -1,5 +1,9 @@
 //! Property-based tests of the graph substrate: BFS/shortest-path-tree invariants, LCA
 //! consistency, bridge detection vs. its definition, and the cuckoo map vs. a model.
+//!
+//! Each property is checked over a fixed number of cases generated from a pinned
+//! `StdRng` seed, so a failure is reproducible from the case index alone (the suite used
+//! to rely on `proptest`, whose default configuration reruns with fresh entropy).
 
 use std::collections::HashMap;
 
@@ -7,124 +11,157 @@ use msrp_graph::{
     analyze_connectivity, bfs, bfs_avoiding_edge, CuckooHashMap, Edge, Graph, ShortestPathTree,
     INFINITE_DISTANCE,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// A random simple graph on 2..=24 vertices given as an edge list (possibly disconnected).
-fn arbitrary_graph() -> impl Strategy<Value = Graph> {
-    (2usize..=24)
-        .prop_flat_map(|n| {
-            let edges = proptest::collection::vec((0usize..n, 0usize..n), 0..(3 * n));
-            (Just(n), edges)
-        })
-        .prop_map(|(n, edges)| {
-            let mut g = Graph::new(n);
-            for (u, v) in edges {
-                if u != v {
-                    let _ = g.add_edge_if_absent(u, v);
-                }
-            }
-            g
-        })
+const CASES: usize = 48;
+
+/// A random simple graph on 2..=24 vertices built from a random edge list (possibly
+/// disconnected).
+fn arbitrary_graph(rng: &mut StdRng) -> Graph {
+    let n = rng.gen_range(2usize..=24);
+    let mut g = Graph::new(n);
+    for _ in 0..rng.gen_range(0..3 * n) {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            let _ = g.add_edge_if_absent(u, v);
+        }
+    }
+    g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    #[test]
-    fn bfs_distances_satisfy_the_triangle_property(g in arbitrary_graph()) {
+#[test]
+fn bfs_distances_satisfy_the_triangle_property() {
+    let mut rng = StdRng::seed_from_u64(0xB1F5);
+    for case in 0..CASES {
+        let g = arbitrary_graph(&mut rng);
         let r = bfs(&g, 0);
         for e in g.edges() {
             let (u, v) = e.endpoints();
             if r.dist[u] != INFINITE_DISTANCE && r.dist[v] != INFINITE_DISTANCE {
-                prop_assert!(r.dist[u].abs_diff(r.dist[v]) <= 1,
-                    "adjacent vertices differ by more than one BFS level");
+                assert!(
+                    r.dist[u].abs_diff(r.dist[v]) <= 1,
+                    "case {case}: adjacent vertices differ by more than one BFS level"
+                );
             }
         }
         for v in 0..g.vertex_count() {
             if let Some(p) = r.parent[v] {
-                prop_assert_eq!(r.dist[v], r.dist[p] + 1);
-                prop_assert!(g.has_edge(v, p));
+                assert_eq!(r.dist[v], r.dist[p] + 1, "case {case}");
+                assert!(g.has_edge(v, p), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn tree_paths_are_real_shortest_paths(g in arbitrary_graph()) {
+#[test]
+fn tree_paths_are_real_shortest_paths() {
+    let mut rng = StdRng::seed_from_u64(0x7EE5);
+    for case in 0..CASES {
+        let g = arbitrary_graph(&mut rng);
         let tree = ShortestPathTree::build(&g, 0);
         for t in 0..g.vertex_count() {
             if let Some(path) = tree.path_from_source(t) {
-                prop_assert_eq!(path.len() as u32 - 1, tree.distance(t).unwrap());
+                assert_eq!(path.len() as u32 - 1, tree.distance(t).unwrap(), "case {case}");
                 for w in path.windows(2) {
-                    prop_assert!(g.has_edge(w[0], w[1]));
+                    assert!(g.has_edge(w[0], w[1]), "case {case}");
                 }
                 for (i, e) in tree.path_edges(t).iter().enumerate() {
-                    prop_assert_eq!(tree.edge_position_on_path(t, *e), Some(i));
-                    prop_assert!(tree.path_contains_edge(t, *e));
+                    assert_eq!(tree.edge_position_on_path(t, *e), Some(i), "case {case}");
+                    assert!(tree.path_contains_edge(t, *e), "case {case}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn lca_is_an_ancestor_of_both_arguments(g in arbitrary_graph()) {
+#[test]
+fn lca_is_an_ancestor_of_both_arguments() {
+    let mut rng = StdRng::seed_from_u64(0x1CA);
+    for case in 0..CASES {
+        let g = arbitrary_graph(&mut rng);
         let tree = ShortestPathTree::build(&g, 0);
         let lca = tree.lca_index();
         for u in 0..g.vertex_count() {
             for v in 0..g.vertex_count() {
                 if let Some(a) = lca.lca(u, v) {
-                    prop_assert!(tree.is_ancestor(a, u));
-                    prop_assert!(tree.is_ancestor(a, v));
-                    prop_assert_eq!(lca.is_ancestor(a, u), true);
+                    assert!(tree.is_ancestor(a, u), "case {case}");
+                    assert!(tree.is_ancestor(a, v), "case {case}");
+                    assert!(lca.is_ancestor(a, u), "case {case}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn bridges_are_exactly_the_disconnecting_edges(g in arbitrary_graph()) {
+#[test]
+fn bridges_are_exactly_the_disconnecting_edges() {
+    let mut rng = StdRng::seed_from_u64(0xB41D6E);
+    for case in 0..CASES {
+        let g = arbitrary_graph(&mut rng);
         let report = analyze_connectivity(&g);
         for e in g.edges() {
             let (u, v) = e.endpoints();
             let disconnects = bfs_avoiding_edge(&g, u, e).dist[v] == INFINITE_DISTANCE;
-            prop_assert_eq!(report.is_bridge(e), disconnects, "edge {}", e);
+            assert_eq!(report.is_bridge(e), disconnects, "case {case}: edge {e}");
         }
     }
+}
 
-    #[test]
-    fn removing_an_edge_never_shrinks_distances(g in arbitrary_graph()) {
+#[test]
+fn removing_an_edge_never_shrinks_distances() {
+    let mut rng = StdRng::seed_from_u64(0x5421);
+    for case in 0..CASES {
+        let g = arbitrary_graph(&mut rng);
         let base = bfs(&g, 0);
-        if let Some(e) = g.edges().next() {
+        let first_edge = g.edges().next();
+        if let Some(e) = first_edge {
             let alt = bfs_avoiding_edge(&g, 0, e);
             for v in 0..g.vertex_count() {
-                prop_assert!(alt.dist[v] >= base.dist[v]);
+                assert!(alt.dist[v] >= base.dist[v], "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn cuckoo_map_behaves_like_the_std_hashmap(ops in proptest::collection::vec((0u16..64, 0u32..1000, proptest::bool::ANY), 0..400)) {
+#[test]
+fn cuckoo_map_behaves_like_the_std_hashmap() {
+    let mut rng = StdRng::seed_from_u64(0xC0C0);
+    for case in 0..CASES {
         let mut cuckoo: CuckooHashMap<u16, u32> = CuckooHashMap::new();
         let mut model: HashMap<u16, u32> = HashMap::new();
-        for (k, v, remove) in ops {
-            if remove {
-                prop_assert_eq!(cuckoo.remove(&k), model.remove(&k));
+        for _ in 0..rng.gen_range(0usize..400) {
+            let k = rng.gen_range(0u16..64);
+            let v = rng.gen_range(0u32..1000);
+            if rng.gen_bool(0.5) {
+                assert_eq!(cuckoo.remove(&k), model.remove(&k), "case {case}");
             } else {
-                prop_assert_eq!(cuckoo.insert(k, v), model.insert(k, v));
+                assert_eq!(cuckoo.insert(k, v), model.insert(k, v), "case {case}");
             }
-            prop_assert_eq!(cuckoo.len(), model.len());
+            assert_eq!(cuckoo.len(), model.len(), "case {case}");
         }
         for (k, v) in &model {
-            prop_assert_eq!(cuckoo.get(k), Some(v));
+            assert_eq!(cuckoo.get(k), Some(v), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn edge_normalization_is_an_involution(u in 0usize..100, v in 0usize..100) {
-        prop_assume!(u != v);
+#[test]
+fn edge_normalization_is_an_involution() {
+    let mut rng = StdRng::seed_from_u64(0xED6E);
+    let mut checked = 0;
+    while checked < CASES {
+        let u = rng.gen_range(0usize..100);
+        let v = rng.gen_range(0usize..100);
+        if u == v {
+            continue;
+        }
+        checked += 1;
         let e = Edge::new(u, v);
-        prop_assert_eq!(e, Edge::new(v, u));
-        prop_assert_eq!(e.other(u), Some(v));
-        prop_assert_eq!(e.other(v), Some(u));
-        prop_assert!(e.lo() < e.hi());
+        assert_eq!(e, Edge::new(v, u));
+        assert_eq!(e.other(u), Some(v));
+        assert_eq!(e.other(v), Some(u));
+        assert!(e.lo() < e.hi());
     }
 }

@@ -18,7 +18,9 @@
 #![warn(missing_docs)]
 
 use msrp_core::{solve_msrp, MsrpOutput, MsrpParams};
-use msrp_graph::{CuckooHashMap, Distance, Edge, Graph, ShortestPathTree, Vertex, INFINITE_DISTANCE};
+use msrp_graph::{
+    CuckooHashMap, Distance, Edge, Graph, ShortestPathTree, Vertex, INFINITE_DISTANCE,
+};
 use msrp_rpath::{single_source_brute_force, SourceReplacementDistances};
 
 /// A single-edge-fault distance oracle for a fixed set of sources.

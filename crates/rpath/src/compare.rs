@@ -77,7 +77,12 @@ pub fn compare(
                 } else {
                     report.over_estimates += 1;
                 }
-                report.mismatches.push(Mismatch { target: t, edge_index: i, expected: e, actual: a });
+                report.mismatches.push(Mismatch {
+                    target: t,
+                    edge_index: i,
+                    expected: e,
+                    actual: a,
+                });
             }
         }
     }

@@ -113,10 +113,7 @@ impl SourceReplacementDistances {
 
     /// Number of entries that are still `INFINITE_DISTANCE`.
     pub fn infinite_entry_count(&self) -> usize {
-        self.per_target
-            .iter()
-            .map(|r| r.iter().filter(|&&d| d == INFINITE_DISTANCE).count())
-            .sum()
+        self.per_target.iter().map(|r| r.iter().filter(|&&d| d == INFINITE_DISTANCE).count()).sum()
     }
 
     /// Iterates over `(target, edge_index, distance)` for every stored entry.
@@ -148,7 +145,7 @@ mod tests {
         assert_eq!(d.row(0).len(), 0);
         assert_eq!(d.row(3).len(), 3);
         assert_eq!(d.row(5).len(), 2);
-        assert_eq!(d.entry_count(), 0 + 1 + 2 + 3 + 3 + 2 + 1);
+        assert_eq!(d.entry_count(), 1 + 2 + 3 + 3 + 2 + 1);
         assert_eq!(d.infinite_entry_count(), d.entry_count());
     }
 

@@ -6,7 +6,9 @@
 //! single-pair replacement distances in hand the answer is a sort, so this module is a thin,
 //! well-tested layer over [`crate::single_pair_replacement_paths`].
 
-use msrp_graph::{bfs_distances, Distance, Edge, Graph, ShortestPathTree, Vertex, INFINITE_DISTANCE};
+use msrp_graph::{
+    bfs_distances, Distance, Edge, Graph, ShortestPathTree, Vertex, INFINITE_DISTANCE,
+};
 
 use crate::single_pair::single_pair_replacement_paths;
 
@@ -50,9 +52,7 @@ pub fn most_vital_edges(g: &Graph, tree: &ShortestPathTree, t: Vertex) -> Vec<Vi
         })
         .collect();
     out.sort_by(|a, b| {
-        b.replacement_distance
-            .cmp(&a.replacement_distance)
-            .then(a.position.cmp(&b.position))
+        b.replacement_distance.cmp(&a.replacement_distance).then(a.position.cmp(&b.position))
     });
     out
 }

@@ -81,7 +81,11 @@ pub fn single_pair_replacement_paths(
     // Interval contributions: (start, end_inclusive, value).
     let mut starts: Vec<Vec<Distance>> = vec![Vec::new(); k];
     let mut ends: Vec<Vec<Distance>> = vec![Vec::new(); k];
-    let push = |l: u32, r: u32, val: Distance, starts: &mut Vec<Vec<Distance>>, ends: &mut Vec<Vec<Distance>>| {
+    let push = |l: u32,
+                r: u32,
+                val: Distance,
+                starts: &mut Vec<Vec<Distance>>,
+                ends: &mut Vec<Vec<Distance>>| {
         if val == INFINITE_DISTANCE || l > r {
             return;
         }

@@ -43,7 +43,11 @@ mod tests {
         let truth = single_source_brute_force(g, &tree);
         let fast = single_source_via_single_pair(g, &tree);
         let report = compare(&truth, &fast);
-        assert!(report.is_exact(), "mismatches: {:?}", &report.mismatches[..report.mismatches.len().min(5)]);
+        assert!(
+            report.is_exact(),
+            "mismatches: {:?}",
+            &report.mismatches[..report.mismatches.len().min(5)]
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ fn main() {
         ("scale-free backbone", barabasi_albert(144, 3, &mut rng).expect("valid parameters")),
     ];
 
-    println!("{:<22} {:>8} {:>10} {:>12} {:>12} {:>14}", "scenario", "queries", "mismatch", "disconnected", "avg stretch", "query speedup");
+    println!(
+        "{:<22} {:>8} {:>10} {:>12} {:>12} {:>14}",
+        "scenario", "queries", "mismatch", "disconnected", "avg stretch", "query speedup"
+    );
     for (name, graph) in scenarios {
         let n = graph.vertex_count();
         let config = SimulationConfig {

@@ -50,11 +50,7 @@ fn main() {
     let msrp = solve_msrp(&g, &sources, &params);
     println!("\nMSRP from {:?}:\n{}", sources, msrp.stats);
     let total_entries: usize = msrp.per_source.iter().map(|d| d.entry_count()).sum();
-    let critical: usize = msrp
-        .per_source
-        .iter()
-        .map(|d| d.infinite_entry_count())
-        .sum();
+    let critical: usize = msrp.per_source.iter().map(|d| d.infinite_entry_count()).sum();
     println!(
         "\ncomputed {total_entries} replacement distances; {critical} of them are critical \
          (no replacement path exists)"

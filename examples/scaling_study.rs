@@ -23,7 +23,10 @@ fn main() {
     let params = MsrpParams::scaled_for_benchmarks();
 
     println!("--- single source, m = 4n ---");
-    println!("{:>6} {:>8} {:>14} {:>14} {:>14}", "n", "m", "brute (s)", "classical (s)", "paper (s)");
+    println!(
+        "{:>6} {:>8} {:>14} {:>14} {:>14}",
+        "n", "m", "brute (s)", "classical (s)", "paper (s)"
+    );
     for &n in &[128usize, 256, 512, 1024] {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let g = connected_gnm(n, 4 * n, &mut rng).expect("valid parameters");

@@ -29,8 +29,7 @@ fn main() {
         for &t in targets.iter().take(3) {
             let path = oracle.canonical_path(s, t).expect("connected");
             let prices = vickrey_prices(&oracle, s, t).expect("source known");
-            let total: u64 =
-                prices.iter().map(|p| p.payment.map(u64::from).unwrap_or(0)).sum();
+            let total: u64 = prices.iter().map(|p| p.payment.map(u64::from).unwrap_or(0)).sum();
             let critical = prices.iter().filter(|p| p.is_critical()).count();
             println!(
                 "route {s} -> {t} (length {}): total VCG payment {}, {} critical edge(s)",
@@ -46,7 +45,10 @@ fn main() {
                         pay,
                         p.premium().unwrap()
                     ),
-                    None => println!("    edge {:<9} CRITICAL (no replacement path)", p.edge.to_string()),
+                    None => println!(
+                        "    edge {:<9} CRITICAL (no replacement path)",
+                        p.edge.to_string()
+                    ),
                 }
             }
         }

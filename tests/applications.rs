@@ -43,8 +43,7 @@ fn reduction_plan_sizes_follow_the_theorem() {
 #[test]
 fn simulation_answers_are_consistent_on_every_family() {
     let mut rng = StdRng::seed_from_u64(3);
-    let graphs =
-        vec![cycle_graph(30), grid_graph(6, 6), connected_gnm(36, 80, &mut rng).unwrap()];
+    let graphs = vec![cycle_graph(30), grid_graph(6, 6), connected_gnm(36, 80, &mut rng).unwrap()];
     for g in graphs {
         let n = g.vertex_count();
         let config = SimulationConfig {

@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: the full pipeline from graph generation through the paper's
 //! solvers to the oracle and the applications, checked against the brute-force ground truth.
 
-use msrp::core::{solve_msrp, solve_ssrp, MsrpParams, SourceToLandmarkStrategy};
 use msrp::core::verify::{exactness, verify_msrp, verify_ssrp};
+use msrp::core::{solve_msrp, solve_ssrp, MsrpParams, SourceToLandmarkStrategy};
 use msrp::graph::generators::{
     barabasi_albert, connected_gnm, cycle_graph, grid_graph, hypercube, random_geometric,
     torus_graph,
@@ -123,10 +123,7 @@ fn disconnected_graphs_are_handled_throughout() {
     let (good, total) = exactness(&reports);
     assert_eq!(good, total);
     // Cross-component queries report infinity.
-    assert_eq!(
-        out.distance_avoiding(0, 5, msrp::graph::Edge::new(0, 1)),
-        Some(INFINITE_DISTANCE)
-    );
+    assert_eq!(out.distance_avoiding(0, 5, msrp::graph::Edge::new(0, 1)), Some(INFINITE_DISTANCE));
 }
 
 #[test]

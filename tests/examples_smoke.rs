@@ -1,0 +1,49 @@
+//! Smoke test: every example in `examples/` compiles and runs to completion.
+//!
+//! Ignored by default because it re-invokes `cargo` (slow, and it would recompile the
+//! workspace inside `cargo test`). CI runs it explicitly with
+//! `cargo test --release --test examples_smoke -- --ignored`, and also builds the
+//! example targets via `cargo build --examples` on every push.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: [&str; 5] =
+    ["quickstart", "bmm_reduction", "network_resilience", "scaling_study", "vickrey_pricing"];
+
+/// The example list above must stay in sync with the files on disk.
+#[test]
+fn example_list_is_complete() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let name = entry.expect("readable dir entry").file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    on_disk.sort_unstable();
+    let mut listed: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    listed.sort_unstable();
+    assert_eq!(listed, on_disk, "EXAMPLES constant is out of sync with examples/*.rs");
+}
+
+#[test]
+#[ignore = "re-invokes cargo; run explicitly (CI does) with --ignored"]
+fn all_examples_run_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .args(["run", "--release", "--example", example])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} failed with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+}

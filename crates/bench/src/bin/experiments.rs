@@ -1,14 +1,15 @@
-//! Experiment harness: regenerates the derived tables E1–E7 described in `EXPERIMENTS.md`.
+//! Experiment harness: regenerates the derived tables E1–E8 described in `EXPERIMENTS.md`.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run -p msrp-bench --release --bin experiments -- [e1|e2|e3|e4|e5|e6|e7|all] [--quick]
+//! cargo run -p msrp-bench --release --bin experiments -- [e1|...|e8|all] [--quick] [--list]
 //! ```
 //!
 //! `--quick` shrinks the instance sizes so that every experiment finishes in a few seconds
 //! (used by the CI-style smoke run); without it the sizes match the numbers reported in
-//! `EXPERIMENTS.md`.
+//! `EXPERIMENTS.md`. `--list` prints every experiment id with a one-line description and
+//! exits.
 
 use std::env;
 
@@ -19,23 +20,43 @@ use msrp_core::{
     SourceToLandmarkStrategy,
 };
 use msrp_graph::{bfs_avoiding_edge, Graph, ShortestPathTree};
-use msrp_netsim::{run_simulation, SimulationConfig};
+use msrp_netsim::{run_simulation, run_simulation_with_service, SimulationConfig};
 use msrp_oracle::ReplacementPathOracle;
 use msrp_rpath::{single_source_brute_force, single_source_via_single_pair};
+use msrp_serve::{run_closed_loop, LoadConfig, QueryService, ServiceConfig, ShardedOracle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const EXPERIMENT_IDS: [&str; 7] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7"];
+/// Every experiment id with its one-line description (printed by `--list`).
+const EXPERIMENTS: [(&str, &str); 8] = [
+    ("e1", "single-source scaling (Theorem 14) vs the two O~(mn) baselines"),
+    ("e2", "multi-source scaling in sigma (Theorem 1/26) on a fixed graph"),
+    ("e3", "exactness rate of the randomized algorithm, paper vs scaled constants"),
+    ("e4", "BMM via the MSRP gadget reduction (Theorem 2/28) vs the naive product"),
+    ("e5", "fault-tolerant oracle build and query latency (Bernstein-Karger endpoint)"),
+    ("e6", "ablations: path-cover vs exact tables, refinement sweeps, constants"),
+    ("e7", "link-failure recovery simulation: oracle recovery vs recomputation"),
+    ("e8", "sharded query service: parallel build, concurrent throughput, latency"),
+];
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for (id, description) in EXPERIMENTS {
+            println!("{id}  {description}");
+        }
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let which: Vec<&str> =
         args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
-    if let Some(unknown) = which.iter().find(|id| **id != "all" && !EXPERIMENT_IDS.contains(id)) {
+    if let Some(unknown) =
+        which.iter().find(|id| **id != "all" && !EXPERIMENTS.iter().any(|(e, _)| e == *id))
+    {
         eprintln!(
-            "error: unknown experiment `{unknown}` (expected one of: {}, all)",
-            EXPERIMENT_IDS.join(", ")
+            "error: unknown experiment `{unknown}` (expected one of: {}, all; \
+             try --list for descriptions)",
+            EXPERIMENTS.iter().map(|(e, _)| e).copied().collect::<Vec<_>>().join(", ")
         );
         std::process::exit(2);
     }
@@ -62,6 +83,9 @@ fn main() {
     }
     if run("e7") {
         experiment_e7(quick);
+    }
+    if run("e8") {
+        experiment_e8(quick);
     }
 }
 
@@ -311,8 +335,72 @@ fn experiment_e7(quick: bool) {
             report.mismatches.to_string(),
             report.disconnected_queries.to_string(),
             format!("{:.2}", report.average_stretch()),
-            format!("{:.1}x", report.query_speedup()),
+            format!("{:.1}x", report.oracle_speedup()),
         ]);
     }
     table.print();
+}
+
+/// E8 — the serving subsystem: sharded parallel construction, concurrent query throughput
+/// through the worker pool, and the E7 failure scenario routed through the service.
+fn experiment_e8(quick: bool) {
+    println!("\n=== E8: sharded replacement-path query service ===");
+    let n = if quick { 128 } else { 256 };
+    let sigma = 8;
+    let g = standard_graph(WorkloadKind::SparseRandom, n, 11);
+    let sources = evenly_spaced_sources(n, sigma);
+    let params = bench_params();
+
+    let mut table = Table::new([
+        "threads=workers",
+        "parallel build (s)",
+        "build speedup",
+        "throughput (q/s)",
+        "batch p50",
+        "batch p99",
+        "unbalance",
+    ]);
+    let mut base_build = None;
+    for &k in &[1usize, 2, 4] {
+        // One timed sharded construction per row; the k = 1 row is the speedup baseline.
+        let (oracle, build) = time_secs(|| ShardedOracle::build(&g, &sources, &params, k));
+        let base_build = *base_build.get_or_insert(build);
+        let service = QueryService::start(oracle, &ServiceConfig { workers: k });
+        let load = LoadConfig {
+            clients: k,
+            batches_per_client: if quick { 10 } else { 40 },
+            batch_size: 64,
+            seed: 8,
+        };
+        let report = run_closed_loop(&service, &g, &load);
+        let metrics = service.shutdown();
+        // Shard-balance headline: max over min per-shard query count (1.0 = perfectly even).
+        let max_shard = metrics.shard_queries.iter().copied().max().unwrap_or(0);
+        let min_shard = metrics.shard_queries.iter().copied().min().unwrap_or(0);
+        table.add_row([
+            k.to_string(),
+            format!("{build:.3}"),
+            format!("{:.2}x", base_build / build.max(1e-9)),
+            format!("{:.0}", report.throughput_qps()),
+            format!("{:.1?}", report.latency.p50()),
+            format!("{:.1?}", report.latency.p99()),
+            format!("{:.2}", max_shard as f64 / min_shard.max(1) as f64),
+        ]);
+    }
+    table.print();
+
+    let config = SimulationConfig {
+        gateways: sources.clone(),
+        failures: if quick { 20 } else { 60 },
+        queries_per_failure: 20,
+        seed: 9,
+        params,
+    };
+    let report = run_simulation_with_service(&g, &config, 2, 4);
+    println!(
+        "service-backed failure simulation: {} queries, {} mismatches, oracle speedup {:.1}x",
+        report.total_queries,
+        report.mismatches,
+        report.oracle_speedup()
+    );
 }

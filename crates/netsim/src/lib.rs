@@ -15,5 +15,7 @@
 pub mod simulation;
 pub mod vickrey;
 
-pub use simulation::{run_simulation, FailureEvent, SimulationConfig, SimulationReport};
+pub use simulation::{
+    run_simulation, run_simulation_with_service, FailureEvent, SimulationConfig, SimulationReport,
+};
 pub use vickrey::{vickrey_prices, EdgePrice};

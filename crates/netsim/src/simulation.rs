@@ -87,14 +87,23 @@ impl SimulationReport {
         }
     }
 
-    /// Speed-up of oracle queries over recomputation (ratio of total times).
-    pub fn query_speedup(&self) -> f64 {
+    /// The headline number of experiments E7/E8: how much faster the precomputed oracle (or
+    /// the query service wrapping it) answers the failure workload than recomputing each
+    /// answer from scratch (`recompute_time / oracle_query_time`; infinite when querying took
+    /// no measurable time).
+    pub fn oracle_speedup(&self) -> f64 {
         let o = self.oracle_query_time.as_secs_f64();
         if o == 0.0 {
             f64::INFINITY
         } else {
             self.recompute_time.as_secs_f64() / o
         }
+    }
+
+    /// Speed-up of oracle queries over recomputation (alias of
+    /// [`oracle_speedup`](Self::oracle_speedup), kept for the original E7 callers).
+    pub fn query_speedup(&self) -> f64 {
+        self.oracle_speedup()
     }
 }
 
@@ -166,6 +175,104 @@ pub fn run_simulation(g: &Graph, config: &SimulationConfig) -> SimulationReport 
     }
 }
 
+/// Runs the same seeded simulation, but routes every per-failure query batch through a
+/// [`QueryService`](msrp_serve::QueryService): the oracle shards are built in parallel
+/// (`shards` construction workers) and each failure's batch is answered by the service's
+/// worker pool instead of by in-process calls.
+///
+/// The RNG draw order matches [`run_simulation`] exactly, so for a given `config` both
+/// entry points inject the same failures and queries — and, because the service is answer-
+/// preserving (see the `msrp-serve` property suite), they must produce the same events,
+/// stretch, and mismatch counts; only the timing columns differ. `oracle_build_time` covers
+/// sharded construction plus service start-up, and `oracle_query_time` covers the full
+/// submit → answers round trip including queueing.
+///
+/// # Panics
+///
+/// Panics on the same configurations as [`run_simulation`].
+pub fn run_simulation_with_service(
+    g: &Graph,
+    config: &SimulationConfig,
+    shards: usize,
+    workers: usize,
+) -> SimulationReport {
+    use msrp_serve::{Query, QueryService, ServiceConfig};
+
+    assert!(!config.gateways.is_empty(), "at least one gateway is required");
+    assert!(g.edge_count() > 0, "the network must have links");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let build_start = Instant::now();
+    let service = QueryService::build_and_start(
+        g,
+        &config.gateways,
+        &config.params,
+        shards,
+        &ServiceConfig { workers },
+    );
+    let oracle_build_time = build_start.elapsed();
+
+    let edges = g.edge_vec();
+    let n = g.vertex_count();
+    let mut events = Vec::with_capacity(config.failures);
+    let mut mismatches = 0;
+    let mut disconnected_queries = 0;
+    let mut total_stretch = 0u64;
+    let mut total_queries = 0;
+    let mut oracle_query_time = Duration::ZERO;
+    let mut recompute_time = Duration::ZERO;
+
+    for _ in 0..config.failures {
+        let edge = edges[rng.gen_range(0..edges.len())];
+        let batch: Vec<Query> = (0..config.queries_per_failure)
+            .map(|_| {
+                let gw = config.gateways[rng.gen_range(0..config.gateways.len())];
+                let dest = rng.gen_range(0..n);
+                Query::new(gw, dest, edge)
+            })
+            .collect();
+        total_queries += batch.len();
+
+        let start = Instant::now();
+        let batch_answers = service.answer_batch(&batch);
+        oracle_query_time += start.elapsed();
+
+        let mut answers = Vec::with_capacity(batch.len());
+        let mut event_disconnected = 0;
+        for (q, answer) in batch.iter().zip(batch_answers) {
+            let via_service = answer.expect("gateway is a source");
+
+            let start = Instant::now();
+            let recomputed = bfs_avoiding_edge(g, q.source, edge).dist[q.target];
+            recompute_time += start.elapsed();
+
+            if via_service != recomputed {
+                mismatches += 1;
+            }
+            if recomputed == INFINITE_DISTANCE {
+                event_disconnected += 1;
+                disconnected_queries += 1;
+            } else if let Some(base) = service.oracle().distance(q.source, q.target) {
+                total_stretch += (recomputed - base) as u64;
+            }
+            answers.push((q.source, q.target, via_service));
+        }
+        events.push(FailureEvent { edge, answers, disconnected: event_disconnected });
+    }
+    service.shutdown();
+
+    SimulationReport {
+        events,
+        total_queries,
+        mismatches,
+        disconnected_queries,
+        total_stretch,
+        oracle_build_time,
+        oracle_query_time,
+        recompute_time,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +327,48 @@ mod tests {
         let edges_a: Vec<_> = a.events.iter().map(|e| e.edge).collect();
         let edges_b: Vec<_> = b.events.iter().map(|e| e.edge).collect();
         assert_eq!(edges_a, edges_b);
+    }
+
+    #[test]
+    fn service_backed_simulation_matches_the_in_process_one() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = connected_gnm(36, 80, &mut rng).unwrap();
+        let config = SimulationConfig {
+            gateways: vec![0, 12, 25],
+            failures: 15,
+            queries_per_failure: 6,
+            seed: 21,
+            params: MsrpParams::default(),
+        };
+        let plain = run_simulation(&g, &config);
+        let served = run_simulation_with_service(&g, &config, 2, 3);
+        assert_eq!(served.mismatches, 0);
+        assert_eq!(served.total_queries, plain.total_queries);
+        assert_eq!(served.total_stretch, plain.total_stretch);
+        assert_eq!(served.disconnected_queries, plain.disconnected_queries);
+        for (a, b) in plain.events.iter().zip(&served.events) {
+            assert_eq!(a.edge, b.edge, "same seed must inject the same failures");
+            assert_eq!(a.answers, b.answers, "the service must be answer-preserving");
+        }
+        assert!(served.oracle_speedup() > 0.0);
+    }
+
+    #[test]
+    fn oracle_speedup_is_the_recompute_to_query_ratio() {
+        let report = SimulationReport {
+            events: Vec::new(),
+            total_queries: 0,
+            mismatches: 0,
+            disconnected_queries: 0,
+            total_stretch: 0,
+            oracle_build_time: Duration::ZERO,
+            oracle_query_time: Duration::from_millis(2),
+            recompute_time: Duration::from_millis(10),
+        };
+        assert!((report.oracle_speedup() - 5.0).abs() < 1e-9);
+        assert_eq!(report.oracle_speedup(), report.query_speedup());
+        let zero = SimulationReport { oracle_query_time: Duration::ZERO, ..report };
+        assert_eq!(zero.oracle_speedup(), f64::INFINITY);
     }
 
     #[test]

@@ -51,6 +51,59 @@ impl ReplacementPathOracle {
         Self::from_msrp_output(out)
     }
 
+    /// Builds the oracle in parallel by sharding the σ sources across `threads` workers.
+    ///
+    /// The per-source solves of `msrp_core` are independent, so each worker runs the full MSRP
+    /// solver on a contiguous shard of the sources (see [`shard_sources`]) and the per-source
+    /// rows are merged back in input order with [`from_shards`]. The sharding is a pure
+    /// function of `(sources, threads)`, so a given `(graph, sources, params, threads)` tuple
+    /// always reproduces the same oracle; and because every construction route computes the
+    /// same replacement *distances*, answers agree across thread counts whenever the solver is
+    /// exact (always, under `MsrpParams::default()` on the seeds the test-suite pins — see
+    /// `DESIGN.md`, "Determinism policy").
+    ///
+    /// `threads == 0` is treated as 1; thread counts above σ are clamped to σ.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same inputs as [`build`](Self::build) (empty, duplicate, or out-of-range
+    /// sources), and if a worker thread panics.
+    pub fn build_parallel(
+        g: &Graph,
+        sources: &[Vertex],
+        params: &MsrpParams,
+        threads: usize,
+    ) -> Self {
+        Self::from_shards(build_shards(g, sources, params, threads))
+    }
+
+    /// Merges per-shard oracles (each covering a disjoint slice of the sources) into one
+    /// oracle, concatenating the per-source rows in shard order.
+    ///
+    /// This is the merge half of [`build_parallel`](Self::build_parallel); it is public so
+    /// that serving layers (`msrp-serve`) can build shards on their own schedule and still
+    /// recover a single-oracle view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shards are empty or share a source.
+    pub fn from_shards(shards: Vec<ReplacementPathOracle>) -> Self {
+        assert!(!shards.is_empty(), "at least one shard is required");
+        let mut sources = Vec::new();
+        let mut trees = Vec::new();
+        let mut distances = Vec::new();
+        for shard in shards {
+            sources.extend_from_slice(&shard.sources);
+            trees.extend(shard.trees);
+            distances.extend(shard.distances);
+        }
+        let mut dedup = sources.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sources.len(), "shards must cover disjoint sources");
+        ReplacementPathOracle { sources, trees, distances }
+    }
+
     /// Wraps an existing solver output.
     pub fn from_msrp_output(out: MsrpOutput) -> Self {
         ReplacementPathOracle { sources: out.sources, trees: out.trees, distances: out.per_source }
@@ -182,6 +235,69 @@ impl FlatReplacementOracle {
     }
 }
 
+/// Splits `sources` into `shards` contiguous, non-empty, near-equal chunks (the first
+/// `len % shards` chunks get one extra source). Concatenating the chunks in order yields the
+/// original slice, which is what lets [`ReplacementPathOracle::from_shards`] preserve source
+/// order.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero or exceeds the number of sources.
+pub fn shard_sources(sources: &[Vertex], shards: usize) -> Vec<&[Vertex]> {
+    assert!(shards > 0, "at least one shard is required");
+    assert!(shards <= sources.len(), "more shards ({shards}) than sources ({})", sources.len());
+    let base = sources.len() / shards;
+    let extra = sources.len() % shards;
+    let mut chunks = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        chunks.push(&sources[start..start + len]);
+        start += len;
+    }
+    chunks
+}
+
+/// Builds one [`ReplacementPathOracle`] per shard, in parallel (one `std::thread` worker per
+/// shard, scoped). This is the construction half of
+/// [`ReplacementPathOracle::build_parallel`]; it is public so that serving layers
+/// (`msrp-serve`'s `ShardedOracle`) can keep the shards separate instead of merging them.
+///
+/// `threads == 0` is treated as 1 (built inline, no thread spawned); thread counts above σ
+/// are clamped to σ.
+///
+/// # Panics
+///
+/// Panics on the inputs [`ReplacementPathOracle::build`] rejects (empty, duplicate, or
+/// out-of-range sources), and if a worker thread panics.
+pub fn build_shards(
+    g: &Graph,
+    sources: &[Vertex],
+    params: &MsrpParams,
+    threads: usize,
+) -> Vec<ReplacementPathOracle> {
+    let threads = threads.max(1).min(sources.len().max(1));
+    if threads == 1 {
+        return vec![ReplacementPathOracle::build(g, sources, params)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shard_sources(sources, threads)
+            .into_iter()
+            .map(|chunk| scope.spawn(move || ReplacementPathOracle::build(g, chunk, params)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("oracle shard worker panicked")).collect()
+    })
+}
+
+// The serving layer (`msrp-serve`) shares immutable oracles across worker threads; these
+// compile-time assertions make sure a future refactor cannot silently lose thread-safety
+// (e.g. by introducing `Rc` or interior mutability into the oracle or its substrates).
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<ReplacementPathOracle>();
+    assert_send_sync::<FlatReplacementOracle>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +373,89 @@ mod tests {
             }
         }
         assert_eq!(flat.query(7, 0, Edge::new(0, 1)), None);
+    }
+
+    #[test]
+    fn shard_sources_partitions_in_order() {
+        let sources = [3usize, 1, 4, 1, 5, 9, 2];
+        for shards in 1..=sources.len() {
+            let chunks = shard_sources(&sources, shards);
+            assert_eq!(chunks.len(), shards);
+            assert!(chunks.iter().all(|c| !c.is_empty()));
+            let max = chunks.iter().map(|c| c.len()).max().unwrap();
+            let min = chunks.iter().map(|c| c.len()).min().unwrap();
+            assert!(max - min <= 1, "chunks must be near-equal");
+            let rejoined: Vec<_> = chunks.concat();
+            assert_eq!(rejoined, sources);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more shards")]
+    fn shard_sources_rejects_more_shards_than_sources() {
+        let _ = shard_sources(&[0, 1], 3);
+    }
+
+    #[test]
+    fn parallel_build_agrees_with_sequential_build() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let g = connected_gnm(30, 70, &mut rng).unwrap();
+        let sources = [0usize, 5, 11, 17, 23, 29];
+        let sequential = ReplacementPathOracle::build(&g, &sources, &MsrpParams::default());
+        for threads in [0usize, 1, 2, 3, 4, 16] {
+            let parallel = ReplacementPathOracle::build_parallel(
+                &g,
+                &sources,
+                &MsrpParams::default(),
+                threads,
+            );
+            assert_eq!(parallel.sources(), &sources);
+            for &s in &sources {
+                for t in 0..g.vertex_count() {
+                    assert_eq!(parallel.distance(s, t), sequential.distance(s, t));
+                    for e in g.edges() {
+                        assert_eq!(
+                            parallel.replacement_distance(s, t, e),
+                            sequential.replacement_distance(s, t, e),
+                            "threads={threads} s={s} t={t} e={e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_shards_preserves_source_order() {
+        let g = cycle_graph(10);
+        let shards = vec![
+            ReplacementPathOracle::build_exact(&g, &[4, 1]),
+            ReplacementPathOracle::build_exact(&g, &[7]),
+        ];
+        let merged = ReplacementPathOracle::from_shards(shards);
+        assert_eq!(merged.sources(), &[4, 1, 7]);
+        let whole = ReplacementPathOracle::build_exact(&g, &[4, 1, 7]);
+        for &s in merged.sources() {
+            for t in 0..10 {
+                for e in g.edges() {
+                    assert_eq!(
+                        merged.replacement_distance(s, t, e),
+                        whole.replacement_distance(s, t, e)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_shards_panic() {
+        let g = cycle_graph(6);
+        let shards = vec![
+            ReplacementPathOracle::build_exact(&g, &[0, 2]),
+            ReplacementPathOracle::build_exact(&g, &[2]),
+        ];
+        let _ = ReplacementPathOracle::from_shards(shards);
     }
 
     #[test]

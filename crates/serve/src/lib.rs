@@ -1,0 +1,58 @@
+//! `msrp-serve`: a concurrent, sharded replacement-path query service.
+//!
+//! The Bernstein–Karger-style oracle of `msrp-oracle` is read-only after construction, which
+//! makes it a natural fit for a shared-nothing serving architecture: the σ sources are sharded
+//! across independent [`ReplacementPathOracle`](msrp_oracle::ReplacementPathOracle)s (built in
+//! parallel, one worker per shard), and queries are routed to the shard owning their source.
+//! This crate turns that observation into a subsystem:
+//!
+//! * [`ShardedOracle`] — immutable, `Arc`-shareable shards plus a source → shard routing table;
+//! * [`QueryService`] — a worker pool fed by an mpsc request queue, with a batch-query API
+//!   ([`answer_batch`](QueryService::answer_batch)), pipelined submission
+//!   ([`submit`](QueryService::submit)), and graceful shutdown;
+//! * [`metrics`] — log-bucketed latency histograms (p50/p99/max) and per-shard/per-worker
+//!   throughput counters;
+//! * [`loadgen`] — a deterministic, seed-pinned closed-loop load generator for driving the
+//!   service from N client threads;
+//! * [`protocol`] — the newline-delimited text protocol spoken by the TCP front end
+//!   (`examples/serve_tcp.rs` in the workspace root).
+//!
+//! # Determinism
+//!
+//! Nothing in the service introduces nondeterminism into *answers*: shards are pure functions
+//! of `(graph, sources, params, shard_count)`, each query is answered from immutable state, and
+//! batches are returned in submission order. Thread scheduling only affects timings. The
+//! concurrency property suite (`tests/service_properties.rs`) pins seeds and asserts that
+//! service answers agree bit-for-bit with the single-threaded oracle and with brute-force
+//! ground truth across worker/shard counts.
+//!
+//! # Quick example
+//!
+//! ```
+//! use msrp_core::MsrpParams;
+//! use msrp_graph::{generators::cycle_graph, Edge};
+//! use msrp_serve::{Query, QueryService, ServiceConfig, ShardedOracle};
+//!
+//! let g = cycle_graph(8);
+//! let oracle = ShardedOracle::build(&g, &[0, 4], &MsrpParams::default(), 2);
+//! let service = QueryService::start(oracle, &ServiceConfig::default());
+//! let answers = service.answer_batch(&[Query::new(0, 3, Edge::new(1, 2))]);
+//! assert_eq!(answers, vec![Some(5)]);
+//! let metrics = service.shutdown();
+//! assert_eq!(metrics.queries_total, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod service;
+
+pub use loadgen::{random_queries, run_closed_loop, LoadConfig, LoadReport};
+pub use metrics::{HistogramSnapshot, LatencyHistogram, MetricsSnapshot, ServiceMetrics};
+pub use protocol::{
+    format_answer, format_query, parse_answer, parse_request, ProtocolError, Request,
+};
+pub use service::{PendingBatch, Query, QueryService, ServiceConfig, ShardedOracle};

@@ -1,0 +1,264 @@
+//! Service observability: log-bucketed latency histograms and throughput counters.
+//!
+//! Latencies are recorded into power-of-two buckets (`bucket i` holds samples with
+//! `2^(i-1) ns < latency ≤ 2^i ns`), so a histogram is 64 atomic counters regardless of how
+//! many samples it absorbs, and quantiles are read off the cumulative bucket counts with at
+//! most 2× relative error — the standard trade-off for serving-side p50/p99 tracking. All
+//! counters are atomics: recording is lock-free and safe from any worker or client thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log buckets; `2^63 ns` is centuries, so 64 buckets cover every `Duration`.
+const BUCKET_COUNT: usize = 64;
+
+/// A lock-free latency histogram with logarithmic buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the bucket holding a sample of `ns` nanoseconds: `ceil(log2(ns))`, with 0 ns
+    /// mapping to bucket 0.
+    fn bucket_index(ns: u64) -> usize {
+        (64 - ns.leading_zeros() as usize)
+            .saturating_sub(usize::from(ns.is_power_of_two()))
+            .min(BUCKET_COUNT - 1)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting (individual counters are read
+    /// atomically; the histogram keeps absorbing samples while a snapshot is taken).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`], with quantile accessors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (`buckets[i]` holds samples in `(2^(i-1), 2^i]` ns).
+    pub buckets: Vec<u64>,
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds.
+    pub sum_ns: u64,
+    /// Largest sample in nanoseconds (exact, not bucketed).
+    pub max_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of the bucket containing the `q`-quantile sample (`0 < q ≤ 1`), or zero
+    /// when the histogram is empty. Bucketing makes this an over-estimate by at most 2×.
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!(q > 0.0 && q <= 1.0, "quantile {q} outside (0, 1]");
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_nanos(if i >= 63 { u64::MAX } else { 1u64 << i });
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Median latency (bucket upper bound).
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency (bucket upper bound).
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// Largest recorded latency (exact).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Duration {
+        Duration::from_nanos(self.sum_ns.checked_div(self.count).unwrap_or(0))
+    }
+
+    /// One-line human-readable summary (`n=… p50=… p99=… max=…`).
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} p50={:.1?} p99={:.1?} max={:.1?}",
+            self.count,
+            self.p50(),
+            self.p99(),
+            self.max()
+        )
+    }
+}
+
+/// Shared counters of a running [`QueryService`](crate::QueryService).
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    /// Latency of whole batches, recorded by the worker that executed the batch.
+    pub batch_latency: LatencyHistogram,
+    queries_total: AtomicU64,
+    unroutable_total: AtomicU64,
+    shard_queries: Vec<AtomicU64>,
+    worker_batches: Vec<AtomicU64>,
+}
+
+impl ServiceMetrics {
+    /// Creates zeroed metrics for a service with the given shard and worker counts.
+    pub fn new(shards: usize, workers: usize) -> Self {
+        ServiceMetrics {
+            batch_latency: LatencyHistogram::new(),
+            queries_total: AtomicU64::new(0),
+            unroutable_total: AtomicU64::new(0),
+            shard_queries: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            worker_batches: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Flushes one batch's worth of routing counts: `shard_counts[i]` queries were routed to
+    /// shard `i`, plus `unroutable` queries whose source no shard serves.
+    ///
+    /// Workers tally locally and flush once per batch — per-query atomic increments from
+    /// every worker would contend on the shared cache lines and serialize the pool (measured
+    /// in the `service_throughput` bench).
+    pub fn record_batch_queries(&self, shard_counts: &[u64], unroutable: u64) {
+        let mut total = unroutable;
+        for (counter, &count) in self.shard_queries.iter().zip(shard_counts) {
+            if count > 0 {
+                counter.fetch_add(count, Ordering::Relaxed);
+            }
+            total += count;
+        }
+        self.queries_total.fetch_add(total, Ordering::Relaxed);
+        if unroutable > 0 {
+            self.unroutable_total.fetch_add(unroutable, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one completed batch for `worker`.
+    pub fn record_batch(&self, worker: usize, latency: Duration) {
+        self.worker_batches[worker].fetch_add(1, Ordering::Relaxed);
+        self.batch_latency.record(latency);
+    }
+
+    /// Takes a reporting snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            batch_latency: self.batch_latency.snapshot(),
+            queries_total: self.queries_total.load(Ordering::Relaxed),
+            unroutable_total: self.unroutable_total.load(Ordering::Relaxed),
+            shard_queries: self.shard_queries.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            worker_batches: self.worker_batches.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServiceMetrics`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Batch latency histogram.
+    pub batch_latency: HistogramSnapshot,
+    /// Total queries answered (including unroutable ones).
+    pub queries_total: u64,
+    /// Queries whose source belonged to no shard.
+    pub unroutable_total: u64,
+    /// Queries routed to each shard.
+    pub shard_queries: Vec<u64>,
+    /// Batches executed by each worker.
+    pub worker_batches: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_ceil_log2() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        assert_eq!(LatencyHistogram::bucket_index(2), 1);
+        assert_eq!(LatencyHistogram::bucket_index(3), 2);
+        assert_eq!(LatencyHistogram::bucket_index(4), 2);
+        assert_eq!(LatencyHistogram::bucket_index(5), 3);
+        assert_eq!(LatencyHistogram::bucket_index(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_index(1025), 11);
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_come_from_bucket_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(100)); // bucket 7, upper bound 128
+        }
+        h.record(Duration::from_nanos(1 << 20)); // bucket 20
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.p50(), Duration::from_nanos(128));
+        assert_eq!(snap.p99(), Duration::from_nanos(128));
+        assert_eq!(snap.quantile(1.0), Duration::from_nanos(1 << 20));
+        assert_eq!(snap.max(), Duration::from_nanos(1 << 20));
+        assert!(snap.mean() >= Duration::from_nanos(100));
+        assert!(snap.summary().contains("n=100"));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let snap = LatencyHistogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50(), Duration::ZERO);
+        assert_eq!(snap.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn service_metrics_count_per_shard_and_worker() {
+        let m = ServiceMetrics::new(2, 3);
+        m.record_batch_queries(&[1, 2], 1);
+        m.record_batch(2, Duration::from_micros(5));
+        let snap = m.snapshot();
+        assert_eq!(snap.queries_total, 4);
+        assert_eq!(snap.unroutable_total, 1);
+        assert_eq!(snap.shard_queries, vec![1, 2]);
+        assert_eq!(snap.worker_batches, vec![0, 0, 1]);
+        assert_eq!(snap.batch_latency.count, 1);
+    }
+}

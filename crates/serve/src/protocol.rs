@@ -1,0 +1,157 @@
+//! The newline-delimited text protocol spoken by the TCP front end.
+//!
+//! Every message is one line of whitespace-separated ASCII tokens; a batch is length-delimited
+//! by its header line. Requests:
+//!
+//! ```text
+//! Q <source> <target> <u> <v>   one query avoiding edge (u, v); server replies with one line
+//! B <k>                         batch header: exactly k `Q` lines follow; k reply lines
+//! STATS                         one reply line summarizing the service metrics
+//! QUIT                          close the connection
+//! ```
+//!
+//! Answers are a single token per query: a decimal distance, `INF` (the failure disconnects
+//! the target), or `NOSRC` (the queried source is not served by any shard). The grammar is
+//! deliberately tiny — `std::net` plus line buffering is the whole transport — but it is the
+//! real serving boundary: `examples/serve_tcp.rs` drives it across a localhost socket in CI.
+
+use std::fmt;
+use std::str::FromStr;
+
+use msrp_graph::{Distance, Edge, INFINITE_DISTANCE};
+
+use crate::service::Query;
+
+/// A parsed request line.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `Q s t u v` — answer one query.
+    Query(Query),
+    /// `B k` — a batch of `k` queries follows, one `Q` line each.
+    Batch(usize),
+    /// `STATS` — report service metrics.
+    Stats,
+    /// `QUIT` — close the connection.
+    Quit,
+}
+
+/// A malformed protocol line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// What went wrong, for the error reply.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn new(message: impl Into<String>) -> Self {
+        ProtocolError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn parse_token<T: FromStr>(token: Option<&str>, what: &str) -> Result<T, ProtocolError> {
+    token
+        .ok_or_else(|| ProtocolError::new(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ProtocolError::new(format!("malformed {what}")))
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next().ok_or_else(|| ProtocolError::new("empty request line"))?;
+    let request = match verb {
+        "Q" => {
+            let source = parse_token(tokens.next(), "source vertex")?;
+            let target = parse_token(tokens.next(), "target vertex")?;
+            let u = parse_token(tokens.next(), "edge endpoint")?;
+            let v: usize = parse_token(tokens.next(), "edge endpoint")?;
+            if u == v {
+                return Err(ProtocolError::new("avoided edge endpoints must differ"));
+            }
+            Request::Query(Query::new(source, target, Edge::new(u, v)))
+        }
+        "B" => Request::Batch(parse_token(tokens.next(), "batch size")?),
+        "STATS" => Request::Stats,
+        "QUIT" => Request::Quit,
+        other => return Err(ProtocolError::new(format!("unknown verb `{other}`"))),
+    };
+    if tokens.next().is_some() {
+        return Err(ProtocolError::new("trailing tokens"));
+    }
+    Ok(request)
+}
+
+/// Renders a query as a `Q` request line (without the newline).
+pub fn format_query(q: &Query) -> String {
+    let (u, v) = q.avoid.endpoints();
+    format!("Q {} {} {u} {v}", q.source, q.target)
+}
+
+/// Renders one answer token: `NOSRC`, `INF`, or the decimal distance.
+pub fn format_answer(answer: Option<Distance>) -> String {
+    match answer {
+        None => "NOSRC".to_string(),
+        Some(INFINITE_DISTANCE) => "INF".to_string(),
+        Some(d) => d.to_string(),
+    }
+}
+
+/// Parses one answer token (the inverse of [`format_answer`]).
+pub fn parse_answer(line: &str) -> Result<Option<Distance>, ProtocolError> {
+    match line.trim() {
+        "NOSRC" => Ok(None),
+        "INF" => Ok(Some(INFINITE_DISTANCE)),
+        token => token
+            .parse::<Distance>()
+            .ok()
+            .filter(|&d| d != INFINITE_DISTANCE)
+            .map(Some)
+            .ok_or_else(|| ProtocolError::new(format!("malformed answer `{token}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let q = Query::new(3, 7, Edge::new(9, 2));
+        let line = format_query(&q);
+        assert_eq!(line, "Q 3 7 2 9"); // Edge::new canonicalizes endpoint order
+        assert_eq!(parse_request(&line), Ok(Request::Query(q)));
+        assert_eq!(parse_request("B 16"), Ok(Request::Batch(16)));
+        assert_eq!(parse_request("STATS"), Ok(Request::Stats));
+        assert_eq!(parse_request("QUIT"), Ok(Request::Quit));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for line in ["", "Q 1 2 3", "Q 1 2 3 x", "Q 1 2 3 3", "B", "B -1", "FLY 1", "QUIT now"] {
+            assert!(parse_request(line).is_err(), "line {line:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn answers_round_trip() {
+        for answer in [None, Some(INFINITE_DISTANCE), Some(0), Some(41)] {
+            assert_eq!(parse_answer(&format_answer(answer)), Ok(answer));
+        }
+        assert!(parse_answer("x").is_err());
+        assert!(parse_answer("4294967295").is_err(), "INFINITE_DISTANCE must be spelled INF");
+    }
+
+    #[test]
+    fn errors_display_their_message() {
+        let err = parse_request("FLY").unwrap_err();
+        assert!(err.to_string().contains("unknown verb"));
+    }
+}

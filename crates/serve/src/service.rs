@@ -1,0 +1,410 @@
+//! The sharded oracle and the worker-pool query service built on top of it.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use msrp_core::MsrpParams;
+use msrp_graph::{Distance, Edge, Graph, Vertex};
+use msrp_oracle::{build_shards, ReplacementPathOracle};
+
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+
+/// One replacement-path query: `QUERY(source, target, avoid)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Query {
+    /// The source vertex (must be one of the oracle's sources to be routable).
+    pub source: Vertex,
+    /// The target vertex.
+    pub target: Vertex,
+    /// The failed edge to avoid.
+    pub avoid: Edge,
+}
+
+impl Query {
+    /// Builds a query.
+    pub fn new(source: Vertex, target: Vertex, avoid: Edge) -> Self {
+        Query { source, target, avoid }
+    }
+}
+
+/// Immutable oracle shards plus a source → shard routing table.
+///
+/// Each shard is a [`ReplacementPathOracle`] covering a contiguous slice of the sources (the
+/// same partition `msrp_oracle::shard_sources` and `build_parallel` use), so shards share
+/// nothing and can be queried from any number of threads concurrently — the `Send + Sync`
+/// assertions in `msrp-oracle` guarantee this stays true.
+#[derive(Clone, Debug)]
+pub struct ShardedOracle {
+    shards: Vec<ReplacementPathOracle>,
+    /// `(source, shard index)` pairs sorted by source, for binary-search routing.
+    route: Vec<(Vertex, usize)>,
+}
+
+impl ShardedOracle {
+    /// Builds `shard_count` shards in parallel (one construction worker per shard) and wires
+    /// up the routing table. `shard_count` is clamped to `[1, σ]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the inputs [`ReplacementPathOracle::build`] rejects (empty, duplicate, or
+    /// out-of-range sources) and if a construction worker panics.
+    pub fn build(g: &Graph, sources: &[Vertex], params: &MsrpParams, shard_count: usize) -> Self {
+        Self::from_shards(build_shards(g, sources, params, shard_count))
+    }
+
+    /// Wraps pre-built shards (which must cover disjoint source sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty or two shards share a source.
+    pub fn from_shards(shards: Vec<ReplacementPathOracle>) -> Self {
+        assert!(!shards.is_empty(), "at least one shard is required");
+        let mut route = Vec::new();
+        for (i, shard) in shards.iter().enumerate() {
+            route.extend(shard.sources().iter().map(|&s| (s, i)));
+        }
+        route.sort_unstable();
+        assert!(route.windows(2).all(|w| w[0].0 != w[1].0), "shards must cover disjoint sources");
+        ShardedOracle { shards, route }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// All sources, in ascending order.
+    pub fn sources(&self) -> Vec<Vertex> {
+        self.route.iter().map(|&(s, _)| s).collect()
+    }
+
+    /// Index of the shard owning `source`, or `None` when no shard covers it.
+    pub fn shard_for(&self, source: Vertex) -> Option<usize> {
+        self.route.binary_search_by_key(&source, |&(s, _)| s).ok().map(|i| self.route[i].1)
+    }
+
+    /// Answers one query by routing it to its shard (`None` when the source is unroutable;
+    /// `Some(INFINITE_DISTANCE)` when the failure disconnects the target).
+    pub fn query(&self, q: Query) -> Option<Distance> {
+        self.query_routed(q).1
+    }
+
+    /// Like [`query`](Self::query), but also reports which shard the query was routed to —
+    /// one routing lookup serves both the answer and the per-shard accounting.
+    pub fn query_routed(&self, q: Query) -> (Option<usize>, Option<Distance>) {
+        match self.shard_for(q.source) {
+            Some(shard) => {
+                (Some(shard), self.shards[shard].replacement_distance(q.source, q.target, q.avoid))
+            }
+            None => (None, None),
+        }
+    }
+
+    /// Fault-free distance from `source` to `target` (`None` when `source` is unroutable or
+    /// `target` unreachable).
+    pub fn distance(&self, source: Vertex, target: Vertex) -> Option<Distance> {
+        let shard = self.shard_for(source)?;
+        self.shards[shard].distance(source, target)
+    }
+
+    /// Merges the shards back into a single oracle (consumes the sharded view).
+    pub fn into_merged(self) -> ReplacementPathOracle {
+        ReplacementPathOracle::from_shards(self.shards)
+    }
+}
+
+/// Configuration of a [`QueryService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of worker threads answering batches (clamped to at least 1).
+    pub workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { workers: 2 }
+    }
+}
+
+/// A batch submitted to the service together with the channel its answers travel back on.
+struct Job {
+    queries: Vec<Query>,
+    reply: Sender<Vec<Option<Distance>>>,
+}
+
+/// A handle to a batch in flight; redeem it with [`wait`](PendingBatch::wait).
+#[must_use = "a pending batch does nothing until waited on"]
+pub struct PendingBatch {
+    reply: Receiver<Vec<Option<Distance>>>,
+}
+
+impl PendingBatch {
+    /// Blocks until the batch's answers arrive (in submission order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker processing the batch died (a worker panic).
+    pub fn wait(self) -> Vec<Option<Distance>> {
+        self.reply.recv().expect("service worker dropped a batch reply")
+    }
+}
+
+/// A concurrent replacement-path query service: `Arc`-shared immutable shards behind a pool of
+/// worker threads fed by an mpsc request queue.
+///
+/// Submitting a batch enqueues it; an idle worker dequeues it, answers every query against the
+/// sharded oracle, records metrics, and sends the answers back on the batch's private reply
+/// channel. Batches are independent, so clients on different threads get concurrency without
+/// coordination; answers within a batch stay in submission order, keeping results bit-for-bit
+/// deterministic regardless of worker count.
+///
+/// Dropping the service (or calling [`shutdown`](QueryService::shutdown)) closes the queue and
+/// joins every worker; batches already queued are drained first.
+#[derive(Debug)]
+pub struct QueryService {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    oracle: Arc<ShardedOracle>,
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl QueryService {
+    /// Starts the worker pool over the given sharded oracle.
+    pub fn start(oracle: ShardedOracle, config: &ServiceConfig) -> Self {
+        let worker_count = config.workers.max(1);
+        let oracle = Arc::new(oracle);
+        let metrics = Arc::new(ServiceMetrics::new(oracle.shard_count(), worker_count));
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..worker_count)
+            .map(|worker_id| {
+                let receiver = Arc::clone(&receiver);
+                let oracle = Arc::clone(&oracle);
+                let metrics = Arc::clone(&metrics);
+                std::thread::spawn(move || {
+                    loop {
+                        // Hold the queue lock only while dequeueing, never while answering.
+                        let job = match receiver.lock().expect("queue lock").recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // queue closed: graceful shutdown
+                        };
+                        let start = Instant::now();
+                        // Tally routing locally and flush once per batch; per-query atomics
+                        // would make the workers contend (see ServiceMetrics).
+                        let mut shard_counts = vec![0u64; oracle.shard_count()];
+                        let mut unroutable = 0u64;
+                        let answers: Vec<Option<Distance>> = job
+                            .queries
+                            .iter()
+                            .map(|&q| {
+                                let (shard, answer) = oracle.query_routed(q);
+                                match shard {
+                                    Some(i) => shard_counts[i] += 1,
+                                    None => unroutable += 1,
+                                }
+                                answer
+                            })
+                            .collect();
+                        metrics.record_batch_queries(&shard_counts, unroutable);
+                        metrics.record_batch(worker_id, start.elapsed());
+                        // The submitter may have given up waiting; that is not an error.
+                        let _ = job.reply.send(answers);
+                    }
+                })
+            })
+            .collect();
+        QueryService { sender: Some(sender), workers, oracle, metrics }
+    }
+
+    /// Convenience constructor: builds the shards in parallel and starts the pool.
+    pub fn build_and_start(
+        g: &Graph,
+        sources: &[Vertex],
+        params: &MsrpParams,
+        shards: usize,
+        config: &ServiceConfig,
+    ) -> Self {
+        Self::start(ShardedOracle::build(g, sources, params, shards), config)
+    }
+
+    /// Enqueues a batch without waiting for it; pair with [`PendingBatch::wait`].
+    pub fn submit(&self, queries: &[Query]) -> PendingBatch {
+        let (reply_tx, reply_rx) = channel();
+        self.sender
+            .as_ref()
+            .expect("service is running")
+            .send(Job { queries: queries.to_vec(), reply: reply_tx })
+            .expect("service queue is open while the service is alive");
+        PendingBatch { reply: reply_rx }
+    }
+
+    /// Answers a batch synchronously: answers arrive in submission order, one per query
+    /// (`None` for unroutable sources, `Some(INFINITE_DISTANCE)` for disconnections).
+    pub fn answer_batch(&self, queries: &[Query]) -> Vec<Option<Distance>> {
+        self.submit(queries).wait()
+    }
+
+    /// The sharded oracle the service answers from.
+    pub fn oracle(&self) -> &ShardedOracle {
+        &self.oracle
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Live metrics snapshot (the service keeps running).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Gracefully shuts down: closes the queue, drains queued batches, joins every worker,
+    /// and returns the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop_workers();
+        self.metrics.snapshot()
+    }
+
+    fn stop_workers(&mut self) {
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrp_graph::generators::{cycle_graph, grid_graph};
+    use msrp_graph::INFINITE_DISTANCE;
+
+    fn demo_service(workers: usize, shards: usize) -> (Graph, QueryService) {
+        let g = grid_graph(4, 4);
+        let service = QueryService::build_and_start(
+            &g,
+            &[0, 5, 15],
+            &MsrpParams::default(),
+            shards,
+            &ServiceConfig { workers },
+        );
+        (g, service)
+    }
+
+    #[test]
+    fn sharded_oracle_routes_to_the_owning_shard() {
+        let g = cycle_graph(9);
+        let oracle = ShardedOracle::build(&g, &[0, 3, 6], &MsrpParams::default(), 3);
+        assert_eq!(oracle.shard_count(), 3);
+        assert_eq!(oracle.sources(), vec![0, 3, 6]);
+        assert_eq!(oracle.shard_for(3), Some(1));
+        assert_eq!(oracle.shard_for(4), None);
+        assert_eq!(oracle.query(Query::new(0, 4, Edge::new(0, 1))), Some(5));
+        assert_eq!(oracle.query(Query::new(4, 0, Edge::new(0, 1))), None);
+        assert_eq!(oracle.distance(6, 0), Some(3));
+        assert_eq!(oracle.distance(5, 0), None);
+        let merged = oracle.into_merged();
+        assert_eq!(merged.sources(), &[0, 3, 6]);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_sigma() {
+        let g = cycle_graph(6);
+        let oracle = ShardedOracle::build(&g, &[0, 2], &MsrpParams::default(), 64);
+        assert_eq!(oracle.shard_count(), 2);
+        let oracle = ShardedOracle::build(&g, &[0, 2], &MsrpParams::default(), 0);
+        assert_eq!(oracle.shard_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_shards_are_rejected() {
+        let g = cycle_graph(6);
+        let a = ReplacementPathOracle::build_exact(&g, &[0, 1]);
+        let b = ReplacementPathOracle::build_exact(&g, &[1]);
+        let _ = ShardedOracle::from_shards(vec![a, b]);
+    }
+
+    #[test]
+    fn batches_are_answered_in_submission_order() {
+        let (g, service) = demo_service(3, 2);
+        let queries: Vec<Query> =
+            (0..g.vertex_count()).map(|t| Query::new(0, t, Edge::new(0, 1))).collect();
+        let answers = service.answer_batch(&queries);
+        assert_eq!(answers.len(), queries.len());
+        let oracle = service.oracle().clone();
+        for (q, a) in queries.iter().zip(&answers) {
+            assert_eq!(*a, oracle.query(*q));
+        }
+        let metrics = service.shutdown();
+        assert_eq!(metrics.queries_total, g.vertex_count() as u64);
+        assert_eq!(metrics.batch_latency.count, 1);
+    }
+
+    #[test]
+    fn pipelined_submission_reassembles_correctly() {
+        let (g, service) = demo_service(4, 3);
+        let batches: Vec<Vec<Query>> = [0usize, 5, 15]
+            .iter()
+            .map(|&s| (0..g.vertex_count()).map(|t| Query::new(s, t, Edge::new(1, 2))).collect())
+            .collect();
+        let pending: Vec<PendingBatch> = batches.iter().map(|b| service.submit(b)).collect();
+        for (batch, p) in batches.iter().zip(pending) {
+            let answers = p.wait();
+            for (q, a) in batch.iter().zip(&answers) {
+                assert_eq!(*a, service.oracle().query(*q), "q={q:?}");
+            }
+        }
+        let metrics = service.metrics();
+        assert_eq!(metrics.queries_total, 3 * g.vertex_count() as u64);
+        assert_eq!(metrics.worker_batches.iter().sum::<u64>(), 3);
+        assert_eq!(metrics.shard_queries.len(), 3);
+    }
+
+    #[test]
+    fn unroutable_and_disconnected_queries_are_distinguished() {
+        let g = msrp_graph::generators::path_graph(6);
+        let service = QueryService::build_and_start(
+            &g,
+            &[0],
+            &MsrpParams::default(),
+            1,
+            &ServiceConfig::default(),
+        );
+        let answers = service.answer_batch(&[
+            Query::new(0, 5, Edge::new(2, 3)), // bridge: disconnects
+            Query::new(3, 5, Edge::new(2, 3)), // 3 is not a source
+        ]);
+        assert_eq!(answers, vec![Some(INFINITE_DISTANCE), None]);
+        let metrics = service.shutdown();
+        assert_eq!(metrics.unroutable_total, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_batches() {
+        let (g, service) = demo_service(1, 1);
+        let pending: Vec<PendingBatch> = (0..8)
+            .map(|i| service.submit(&[Query::new(0, i % g.vertex_count(), Edge::new(0, 1))]))
+            .collect();
+        let metrics = service.shutdown();
+        for p in pending {
+            assert_eq!(p.wait().len(), 1);
+        }
+        assert_eq!(metrics.queries_total, 8);
+    }
+
+    #[test]
+    fn empty_batches_are_legal() {
+        let (_, service) = demo_service(2, 1);
+        assert_eq!(service.answer_batch(&[]), Vec::<Option<Distance>>::new());
+    }
+}

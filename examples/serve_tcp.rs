@@ -1,0 +1,232 @@
+//! The TCP front end of the replacement-path query service: the sharded oracle behind a real
+//! socket, speaking the newline-delimited text protocol of `msrp::serve::protocol`.
+//!
+//! Three modes:
+//!
+//! ```text
+//! cargo run --release --example serve_tcp                      # self-contained smoke run
+//! cargo run --release --example serve_tcp -- --serve ADDR      # serve until the process dies
+//! cargo run --release --example serve_tcp -- --client ADDR     # drive an external server
+//! ```
+//!
+//! The default mode is what CI runs: it starts the server on an OS-assigned localhost port,
+//! connects a client over the real socket, issues single and batched queries, cross-checks
+//! every answer against a single-threaded in-process oracle, and shuts down cleanly. The
+//! `--serve` / `--client` pair runs the same code split across two processes.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+
+use msrp::core::MsrpParams;
+use msrp::graph::generators::connected_gnm;
+use msrp::graph::Graph;
+use msrp::oracle::ReplacementPathOracle;
+use msrp::serve::{
+    format_answer, format_query, parse_answer, parse_request, random_queries, QueryService,
+    Request, ServiceConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The demo workload is pinned so server and client (possibly separate processes) agree on
+/// the graph and sources without exchanging them.
+const GRAPH_SEED: u64 = 99;
+const N: usize = 96;
+const M: usize = 240;
+const SOURCES: [usize; 4] = [0, 24, 48, 72];
+const SHARDS: usize = 2;
+const WORKERS: usize = 2;
+/// Largest batch a client may request in one `B k` header; anything bigger is refused
+/// before any allocation happens (the header size comes straight off the wire).
+const MAX_BATCH: usize = 4096;
+
+fn demo_graph() -> Graph {
+    let mut rng = StdRng::seed_from_u64(GRAPH_SEED);
+    connected_gnm(N, M, &mut rng).expect("valid demo parameters")
+}
+
+/// Answers one connection's requests until `QUIT` or EOF.
+fn handle_connection(stream: TcpStream, service: &QueryService) -> std::io::Result<()> {
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        match parse_request(line.trim_end()) {
+            Ok(Request::Query(q)) => {
+                let answers = service.answer_batch(&[q]);
+                writeln!(writer, "{}", format_answer(answers[0]))?;
+            }
+            Ok(Request::Batch(k)) if k > MAX_BATCH => {
+                writeln!(writer, "ERR batch size {k} exceeds the limit of {MAX_BATCH}")?;
+            }
+            Ok(Request::Batch(k)) => {
+                // Length-delimited batch: exactly k query lines follow the header.
+                let mut batch = Vec::with_capacity(k);
+                for _ in 0..k {
+                    line.clear();
+                    if reader.read_line(&mut line)? == 0 {
+                        return Ok(());
+                    }
+                    match parse_request(line.trim_end()) {
+                        Ok(Request::Query(q)) => batch.push(q),
+                        _ => {
+                            writeln!(writer, "ERR batch lines must be Q queries")?;
+                            writer.flush()?;
+                            return Ok(());
+                        }
+                    }
+                }
+                for answer in service.answer_batch(&batch) {
+                    writeln!(writer, "{}", format_answer(answer))?;
+                }
+            }
+            Ok(Request::Stats) => {
+                let m = service.metrics();
+                writeln!(
+                    writer,
+                    "STATS queries={} unroutable={} shards={:?} batch_latency[{}]",
+                    m.queries_total,
+                    m.unroutable_total,
+                    m.shard_queries,
+                    m.batch_latency.summary()
+                )?;
+            }
+            Ok(Request::Quit) => return Ok(()),
+            Err(e) => writeln!(writer, "ERR {e}")?,
+        }
+        // One flush per request keeps replies prompt without a syscall per answer line.
+        writer.flush()?;
+    }
+}
+
+fn start_service() -> QueryService {
+    let g = demo_graph();
+    QueryService::build_and_start(
+        &g,
+        &SOURCES,
+        &MsrpParams::default(),
+        SHARDS,
+        &ServiceConfig { workers: WORKERS },
+    )
+}
+
+/// `--serve`: accept connections forever (or `max_conns` of them), one thread each.
+fn serve(listener: TcpListener, service: &QueryService, max_conns: Option<usize>) {
+    std::thread::scope(|scope| {
+        for (accepted, stream) in listener.incoming().enumerate() {
+            let stream = stream.expect("accept failed");
+            scope.spawn(move || {
+                if let Err(e) = handle_connection(stream, service) {
+                    eprintln!("connection error: {e}");
+                }
+            });
+            if max_conns.is_some_and(|max| accepted + 1 >= max) {
+                break;
+            }
+        }
+    });
+}
+
+/// `--client`: issue a seed-pinned workload over the socket, verify every answer against a
+/// local single-threaded oracle, and print what happened.
+fn run_client(addr: &str) {
+    let g = demo_graph();
+    let reference = ReplacementPathOracle::build(&g, &SOURCES, &MsrpParams::default());
+    let mut rng = StdRng::seed_from_u64(7);
+    let queries = random_queries(&g, &SOURCES, 64, &mut rng);
+
+    let stream = TcpStream::connect(addr).expect("connect to the serve_tcp server");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let read_answer = |reader: &mut BufReader<TcpStream>, line: &mut String| {
+        line.clear();
+        reader.read_line(line).expect("server replied");
+        parse_answer(line).expect("well-formed answer")
+    };
+
+    // Single queries.
+    for q in &queries[..16] {
+        writeln!(writer, "{}", format_query(q)).expect("send query");
+        let answer = read_answer(&mut reader, &mut line);
+        assert_eq!(
+            answer,
+            reference.replacement_distance(q.source, q.target, q.avoid),
+            "socket answer for {q:?} must match the in-process oracle"
+        );
+    }
+    // One length-delimited batch for the rest.
+    let batch = &queries[16..];
+    writeln!(writer, "B {}", batch.len()).expect("send batch header");
+    for q in batch {
+        writeln!(writer, "{}", format_query(q)).expect("send batch line");
+    }
+    for q in batch {
+        let answer = read_answer(&mut reader, &mut line);
+        assert_eq!(
+            answer,
+            reference.replacement_distance(q.source, q.target, q.avoid),
+            "batched socket answer for {q:?} must match the in-process oracle"
+        );
+    }
+    // Metrics over the wire, then hang up.
+    writeln!(writer, "STATS").expect("send stats");
+    line.clear();
+    reader.read_line(&mut line).expect("stats reply");
+    println!("server reports: {}", line.trim_end());
+    writeln!(writer, "QUIT").expect("send quit");
+
+    println!(
+        "client verified {} answers ({} single + {} batched) against the in-process oracle",
+        queries.len(),
+        16,
+        batch.len()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--serve") => {
+            let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7411");
+            let service = start_service();
+            let listener = TcpListener::bind(addr).expect("bind server address");
+            println!("serving replacement-path queries on {addr} (Ctrl-C to stop)");
+            serve(listener, &service, None);
+        }
+        Some("--client") => {
+            let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7411");
+            run_client(addr);
+        }
+        Some(other) => {
+            eprintln!("unknown mode `{other}` (expected --serve or --client)");
+            std::process::exit(2);
+        }
+        None => {
+            // Self-contained smoke run: server thread + client, one real localhost socket.
+            let service = start_service();
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+            let addr = listener.local_addr().expect("local addr").to_string();
+            println!(
+                "demo server on {addr}: σ={} sources, {SHARDS} shards, {WORKERS} workers",
+                SOURCES.len()
+            );
+            std::thread::scope(|scope| {
+                let service = &service;
+                let server = scope.spawn(move || serve(listener, service, Some(1)));
+                run_client(&addr);
+                server.join().expect("server thread");
+            });
+            let metrics = service.shutdown();
+            println!(
+                "served {} queries over TCP; batch latency [{}]",
+                metrics.queries_total,
+                metrics.batch_latency.summary()
+            );
+        }
+    }
+}

@@ -8,8 +8,14 @@
 use std::path::Path;
 use std::process::Command;
 
-const EXAMPLES: [&str; 5] =
-    ["quickstart", "bmm_reduction", "network_resilience", "scaling_study", "vickrey_pricing"];
+const EXAMPLES: [&str; 6] = [
+    "quickstart",
+    "bmm_reduction",
+    "network_resilience",
+    "scaling_study",
+    "serve_tcp",
+    "vickrey_pricing",
+];
 
 /// The example list above must stay in sync with the files on disk.
 #[test]

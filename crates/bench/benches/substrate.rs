@@ -18,6 +18,7 @@ fn bench_substrate(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(300));
     let g = standard_graph(WorkloadKind::SparseRandom, 1024, 3);
+    let csr = g.freeze();
     let tree = ShortestPathTree::build(&g, 0);
     let dist_to_target = bfs_distances(&g, 777);
 
@@ -25,7 +26,7 @@ fn bench_substrate(c: &mut Criterion) {
     group.bench_function("shortest_path_tree_n1024", |b| b.iter(|| ShortestPathTree::build(&g, 0)));
     group.bench_function("lca_index_n1024", |b| b.iter(|| tree.lca_index()));
     group.bench_function("classical_single_pair_n1024", |b| {
-        b.iter(|| single_pair_replacement_paths(&g, &tree, 777, &dist_to_target))
+        b.iter(|| single_pair_replacement_paths(&csr, &tree, 777, &dist_to_target))
     });
 
     let keys: Vec<(u32, u32, u64)> = (0..20_000u32).map(|i| (i % 64, i / 64, i as u64)).collect();

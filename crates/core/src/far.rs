@@ -8,7 +8,7 @@
 //! `d(s, t, e) = d(s, r, e) + d(r, t)` for that landmark; the algorithm simply tries every
 //! landmark of the level within the radius.
 
-use msrp_graph::{dist_add, Graph, ShortestPathTree, Vertex};
+use msrp_graph::{dist_add, CsrGraph, ShortestPathTree, Vertex};
 use msrp_rpath::SourceReplacementDistances;
 
 use crate::params::MsrpParams;
@@ -20,7 +20,7 @@ use crate::source_landmark::SourceLandmarkView;
 /// (Algorithm 3 of the paper, for one `(s, t)` pair).
 #[allow(clippy::too_many_arguments)]
 pub fn relax_far_edges(
-    g: &Graph,
+    g: &CsrGraph,
     tree_s: &ShortestPathTree,
     target: Vertex,
     landmarks: &SampledLevels,
@@ -78,20 +78,31 @@ mod tests {
     #[test]
     fn far_edges_exist_and_are_solved_exactly_on_a_long_cycle() {
         let g = cycle_graph(48);
+        let csr = g.freeze();
         let params = tiny_params();
         let tree = ShortestPathTree::build(&g, 0);
         let sources = [0usize];
         let landmarks =
             SampledLevels::sample_seeded(g.vertex_count(), 1, &params, params.seed, &sources);
-        let landmark_index = BfsIndex::build(&g, landmarks.all());
-        let table = SourceLandmarkTable::exact(&g, std::slice::from_ref(&tree), &landmark_index);
+        let landmark_index = BfsIndex::build(&csr, landmarks.all());
+        let table = SourceLandmarkTable::exact(&csr, std::slice::from_ref(&tree), &landmark_index);
         let view = table.view(0, &tree, &landmark_index);
         let truth = single_source_brute_force(&g, &tree);
 
         let mut out = SourceReplacementDistances::new(&tree);
         let mut far_edges_seen = 0;
         for t in 1..g.vertex_count() {
-            relax_far_edges(&g, &tree, t, &landmarks, &landmark_index, &view, &params, 1, &mut out);
+            relax_far_edges(
+                &csr,
+                &tree,
+                t,
+                &landmarks,
+                &landmark_index,
+                &view,
+                &params,
+                1,
+                &mut out,
+            );
             // Count how many far positions this target has, so the test is not vacuous.
             let depth = tree.distance(t).unwrap() as usize;
             for i in 0..depth {
@@ -109,30 +120,42 @@ mod tests {
     #[test]
     fn near_only_targets_are_left_untouched() {
         let g = cycle_graph(10);
+        let csr = g.freeze();
         // Paper constants: every edge of such a short path is near, so Algorithm 3 is a no-op.
         let params = MsrpParams::default();
         let tree = ShortestPathTree::build(&g, 0);
         let landmarks = SampledLevels::sample_seeded(10, 1, &params, 1, &[0]);
-        let landmark_index = BfsIndex::build(&g, landmarks.all());
-        let table = SourceLandmarkTable::exact(&g, std::slice::from_ref(&tree), &landmark_index);
+        let landmark_index = BfsIndex::build(&csr, landmarks.all());
+        let table = SourceLandmarkTable::exact(&csr, std::slice::from_ref(&tree), &landmark_index);
         let view = table.view(0, &tree, &landmark_index);
         let mut out = SourceReplacementDistances::new(&tree);
-        relax_far_edges(&g, &tree, 5, &landmarks, &landmark_index, &view, &params, 1, &mut out);
+        relax_far_edges(&csr, &tree, 5, &landmarks, &landmark_index, &view, &params, 1, &mut out);
         assert!(out.row(5).iter().all(|&d| d == INFINITE_DISTANCE));
     }
 
     #[test]
     fn candidates_never_under_estimate_even_with_sparse_landmarks() {
         let g = cycle_graph(64);
+        let csr = g.freeze();
         let params = MsrpParams { sampling_constant: 0.3, ..tiny_params() };
         let tree = ShortestPathTree::build(&g, 0);
         let landmarks = SampledLevels::sample_seeded(64, 1, &params, 3, &[0]);
-        let landmark_index = BfsIndex::build(&g, landmarks.all());
-        let table = SourceLandmarkTable::exact(&g, std::slice::from_ref(&tree), &landmark_index);
+        let landmark_index = BfsIndex::build(&csr, landmarks.all());
+        let table = SourceLandmarkTable::exact(&csr, std::slice::from_ref(&tree), &landmark_index);
         let view = table.view(0, &tree, &landmark_index);
         let mut out = SourceReplacementDistances::new(&tree);
         for t in 1..64 {
-            relax_far_edges(&g, &tree, t, &landmarks, &landmark_index, &view, &params, 1, &mut out);
+            relax_far_edges(
+                &csr,
+                &tree,
+                t,
+                &landmarks,
+                &landmark_index,
+                &view,
+                &params,
+                1,
+                &mut out,
+            );
             for (i, &got) in out.row(t).iter().enumerate() {
                 if got != INFINITE_DISTANCE {
                     let e = tree.path_edge(t, i).unwrap();

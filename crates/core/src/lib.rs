@@ -53,10 +53,10 @@ pub mod ssrp;
 pub mod stats;
 pub mod verify;
 
-pub use msrp::solve_msrp;
+pub use msrp::{solve_msrp, solve_msrp_csr};
 pub use output::{MsrpOutput, SsrpOutput};
 pub use params::{MsrpParams, SourceToLandmarkStrategy};
 pub use sampling::SampledLevels;
 pub use source_landmark::SourceLandmarkTable;
-pub use ssrp::solve_ssrp;
+pub use ssrp::{solve_ssrp, solve_ssrp_csr};
 pub use stats::AlgorithmStats;

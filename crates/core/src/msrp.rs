@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use msrp_graph::{Graph, ShortestPathTree, Vertex};
+use msrp_graph::{CsrGraph, Graph, ShortestPathTree, Vertex};
 
 use crate::multi_source::{build_path_cover_table, PathCoverInputs};
 use crate::near_small::build_near_small;
@@ -35,6 +35,17 @@ use crate::stats::AlgorithmStats;
 /// assert_eq!(out.per_source[1].get(7, 0), Some(8));
 /// ```
 pub fn solve_msrp(g: &Graph, sources: &[Vertex], params: &MsrpParams) -> MsrpOutput {
+    solve_msrp_csr(&g.freeze(), sources, params)
+}
+
+/// CSR entry point of [`solve_msrp`]: every phase traverses the frozen view. The oracle's
+/// parallel shard build shares one `CsrGraph` across all its worker threads instead of
+/// cloning the adjacency structure per shard.
+///
+/// # Panics
+///
+/// Panics if `sources` is empty, contains duplicates, or contains an out-of-range vertex.
+pub fn solve_msrp_csr(g: &CsrGraph, sources: &[Vertex], params: &MsrpParams) -> MsrpOutput {
     let n = g.vertex_count();
     assert!(!sources.is_empty(), "at least one source is required");
     for &s in sources {
@@ -50,7 +61,7 @@ pub fn solve_msrp(g: &Graph, sources: &[Vertex], params: &MsrpParams) -> MsrpOut
 
     let start = Instant::now();
     let trees: Vec<ShortestPathTree> =
-        sources.iter().map(|&s| ShortestPathTree::build(g, s)).collect();
+        sources.iter().map(|&s| ShortestPathTree::build_csr(g, s)).collect();
     stats.record_phase("source BFS trees", start.elapsed());
 
     let start = Instant::now();

@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use msrp_graph::{
-    Distance, Edge, Graph, ShortestPathTree, Vertex, WeightedDigraph, INFINITE_DISTANCE,
+    CsrGraph, Distance, Edge, ShortestPathTree, Vertex, WeightedDigraph, INFINITE_DISTANCE,
     INFINITE_WEIGHT,
 };
 
@@ -63,7 +63,7 @@ pub fn small_paths_through_centers(
 /// the center's window on the canonical center→landmark path.
 #[allow(clippy::too_many_arguments)]
 pub fn center_to_landmark_replacements(
-    g: &Graph,
+    g: &CsrGraph,
     centers: &SampledLevels,
     center_index: &BfsIndex,
     landmark_index: &BfsIndex,
@@ -149,12 +149,14 @@ mod tests {
     use super::*;
     use crate::near_small::build_near_small;
     use msrp_graph::generators::connected_gnm;
+    use msrp_graph::Graph;
     use msrp_rpath::replacement_distance;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     struct Fixture {
         g: Graph,
+        csr: CsrGraph,
         centers: SampledLevels,
         center_index: BfsIndex,
         landmark_index: BfsIndex,
@@ -164,21 +166,22 @@ mod tests {
     fn fixture(n: usize, seed: u64, params: &MsrpParams) -> Fixture {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = connected_gnm(n, 2 * n, &mut rng).unwrap();
+        let csr = g.freeze();
         let sources = vec![0usize, n / 2];
         let sigma = sources.len();
         let landmarks = SampledLevels::sample_seeded(n, sigma, params, params.seed, &sources);
-        let landmark_index = BfsIndex::build(&g, landmarks.all());
+        let landmark_index = BfsIndex::build(&csr, landmarks.all());
         let mut forced: Vec<Vertex> = sources.clone();
         forced.extend_from_slice(landmarks.all());
         let centers = SampledLevels::sample_seeded(n, sigma, params, params.seed ^ 1, &forced);
-        let center_index = BfsIndex::build(&g, centers.all());
+        let center_index = BfsIndex::build(&csr, centers.all());
         let source_trees: Vec<_> =
             sources.iter().map(|&s| ShortestPathTree::build(&g, s)).collect();
         let near_small: Vec<_> =
-            source_trees.iter().map(|t| build_near_small(&g, t, params, sigma)).collect();
+            source_trees.iter().map(|t| build_near_small(&csr, t, params, sigma)).collect();
         let small_through =
             small_paths_through_centers(&source_trees, &near_small, &landmark_index, &centers);
-        Fixture { g, centers, center_index, landmark_index, small_through }
+        Fixture { g, csr, centers, center_index, landmark_index, small_through }
     }
 
     #[test]
@@ -200,7 +203,7 @@ mod tests {
         let params = MsrpParams::default();
         let f = fixture(18, 4, &params);
         let map = center_to_landmark_replacements(
-            &f.g,
+            &f.csr,
             &f.centers,
             &f.center_index,
             &f.landmark_index,
@@ -220,7 +223,7 @@ mod tests {
         let params = MsrpParams::scaled_for_benchmarks();
         let f = fixture(30, 9, &params);
         let map = center_to_landmark_replacements(
-            &f.g,
+            &f.csr,
             &f.centers,
             &f.center_index,
             &f.landmark_index,

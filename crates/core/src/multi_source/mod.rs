@@ -34,8 +34,8 @@ pub use source_to_center::{source_to_center_replacements, SourceCenterMap};
 use std::collections::HashMap;
 
 use msrp_graph::{
-    dist_add, Distance, Edge, Graph, ShortestPathTree, Vertex, WeightedDigraph, INFINITE_DISTANCE,
-    INFINITE_WEIGHT,
+    dist_add, CsrGraph, Distance, Edge, ShortestPathTree, Vertex, WeightedDigraph,
+    INFINITE_DISTANCE, INFINITE_WEIGHT,
 };
 
 use crate::near_small::NearSmallResult;
@@ -47,8 +47,8 @@ use crate::stats::AlgorithmStats;
 
 /// Everything the path-cover construction needs from the earlier phases.
 pub struct PathCoverInputs<'a> {
-    /// The input graph.
-    pub g: &'a Graph,
+    /// The input graph (frozen CSR view).
+    pub g: &'a CsrGraph,
     /// Algorithm parameters.
     pub params: &'a MsrpParams,
     /// Number of sources (σ).
@@ -427,17 +427,18 @@ mod tests {
     use super::*;
     use crate::near_small::build_near_small;
     use msrp_graph::generators::{connected_gnm, cycle_graph, grid_graph};
+    use msrp_graph::Graph;
     use msrp_rpath::replacement_distance;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn build_inputs(
-        g: &Graph,
+        g: &CsrGraph,
         sources: &[Vertex],
         params: &MsrpParams,
     ) -> (Vec<ShortestPathTree>, SampledLevels, BfsIndex, Vec<NearSmallResult>) {
         let sigma = sources.len();
-        let trees: Vec<_> = sources.iter().map(|&s| ShortestPathTree::build(g, s)).collect();
+        let trees: Vec<_> = sources.iter().map(|&s| ShortestPathTree::build_csr(g, s)).collect();
         let landmarks =
             SampledLevels::sample_seeded(g.vertex_count(), sigma, params, params.seed, sources);
         let landmark_index = BfsIndex::build(g, landmarks.all());
@@ -446,9 +447,10 @@ mod tests {
     }
 
     fn table_matches_truth(g: &Graph, sources: &[Vertex], params: &MsrpParams) {
-        let (trees, landmarks, landmark_index, near) = build_inputs(g, sources, params);
+        let csr = g.freeze();
+        let (trees, landmarks, landmark_index, near) = build_inputs(&csr, sources, params);
         let inputs = PathCoverInputs {
-            g,
+            g: &csr,
             params,
             sigma: sources.len(),
             sources,
@@ -498,9 +500,10 @@ mod tests {
         let g = connected_gnm(24, 48, &mut rng).unwrap();
         let params = MsrpParams { refinement_sweeps: 0, ..MsrpParams::default() };
         let sources = [0usize, 12];
-        let (trees, landmarks, landmark_index, near) = build_inputs(&g, &sources, &params);
+        let csr = g.freeze();
+        let (trees, landmarks, landmark_index, near) = build_inputs(&csr, &sources, &params);
         let inputs = PathCoverInputs {
-            g: &g,
+            g: &csr,
             params: &params,
             sigma: 2,
             sources: &sources,

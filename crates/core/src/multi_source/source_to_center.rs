@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 
 use msrp_graph::{
-    Distance, Edge, Graph, ShortestPathTree, Vertex, WeightedDigraph, INFINITE_WEIGHT,
+    CsrGraph, Distance, Edge, ShortestPathTree, Vertex, WeightedDigraph, INFINITE_WEIGHT,
 };
 
 use crate::near_small::NearSmallResult;
@@ -33,7 +33,7 @@ pub type SourceCenterMap = HashMap<(Vertex, Vertex), Distance>;
 /// Builds the Section 8.1 auxiliary graph for one source and extracts `d(s, c, e)`.
 #[allow(clippy::too_many_arguments)]
 pub fn source_to_center_replacements(
-    g: &Graph,
+    g: &CsrGraph,
     tree_s: &ShortestPathTree,
     centers: &SampledLevels,
     center_index: &BfsIndex,
@@ -123,6 +123,7 @@ mod tests {
     use super::*;
     use crate::near_small::build_near_small;
     use msrp_graph::generators::{connected_gnm, cycle_graph};
+    use msrp_graph::Graph;
     use msrp_rpath::replacement_distance;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -133,13 +134,14 @@ mod tests {
         params: &MsrpParams,
         sigma: usize,
     ) -> (ShortestPathTree, SourceCenterMap) {
+        let csr = g.freeze();
         let tree = ShortestPathTree::build(g, s);
         let centers =
             SampledLevels::sample_seeded(g.vertex_count(), sigma, params, params.seed ^ 1, &[s]);
-        let center_index = BfsIndex::build(g, centers.all());
-        let near_small = build_near_small(g, &tree, params, sigma);
+        let center_index = BfsIndex::build(&csr, centers.all());
+        let near_small = build_near_small(&csr, &tree, params, sigma);
         let map = source_to_center_replacements(
-            g,
+            &csr,
             &tree,
             &centers,
             &center_index,

@@ -12,7 +12,7 @@
 //! so running the relaxation for *every* near edge — not only those whose replacement turns out
 //! to be large — is safe; the small case is simply won by the Section 7.1 candidate.
 
-use msrp_graph::{dist_add, Edge, Graph, ShortestPathTree, Vertex};
+use msrp_graph::{dist_add, CsrGraph, Edge, ShortestPathTree, Vertex};
 use msrp_rpath::SourceReplacementDistances;
 
 use crate::params::MsrpParams;
@@ -24,7 +24,7 @@ use crate::source_landmark::SourceLandmarkView;
 /// (Algorithm 4 of the paper, for one `(s, t)` pair).
 #[allow(clippy::too_many_arguments)]
 pub fn relax_near_large(
-    g: &Graph,
+    g: &CsrGraph,
     tree_s: &ShortestPathTree,
     target: Vertex,
     landmarks: &SampledLevels,
@@ -65,7 +65,7 @@ mod tests {
     use super::*;
     use crate::source_landmark::SourceLandmarkTable;
     use msrp_graph::generators::{connected_gnm, cycle_graph};
-    use msrp_graph::INFINITE_DISTANCE;
+    use msrp_graph::{Graph, INFINITE_DISTANCE};
     use msrp_rpath::{replacement_distance, single_source_brute_force};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -78,7 +78,7 @@ mod tests {
         let tree = ShortestPathTree::build(g, source);
         let landmarks =
             SampledLevels::sample_seeded(g.vertex_count(), 1, params, params.seed, &[source]);
-        let index = BfsIndex::build(g, landmarks.all());
+        let index = BfsIndex::build(&g.freeze(), landmarks.all());
         (tree, landmarks, index)
     }
 
@@ -89,12 +89,13 @@ mod tests {
         let g = cycle_graph(12);
         let params = MsrpParams::default();
         let (tree, landmarks, index) = setup(&g, 0, &params);
-        let table = SourceLandmarkTable::exact(&g, std::slice::from_ref(&tree), &index);
+        let csr = g.freeze();
+        let table = SourceLandmarkTable::exact(&csr, std::slice::from_ref(&tree), &index);
         let view = table.view(0, &tree, &index);
         let truth = single_source_brute_force(&g, &tree);
         let mut out = SourceReplacementDistances::new(&tree);
         for t in 1..12 {
-            relax_near_large(&g, &tree, t, &landmarks, &index, &view, &params, 1, &mut out);
+            relax_near_large(&csr, &tree, t, &landmarks, &index, &view, &params, 1, &mut out);
         }
         for (t, i, expected) in truth.iter() {
             assert_eq!(out.get(t, i), Some(expected), "target {t} edge {i}");
@@ -107,11 +108,12 @@ mod tests {
         let g = connected_gnm(26, 52, &mut rng).unwrap();
         let params = MsrpParams { sampling_constant: 0.5, ..MsrpParams::default() };
         let (tree, landmarks, index) = setup(&g, 0, &params);
-        let table = SourceLandmarkTable::exact(&g, std::slice::from_ref(&tree), &index);
+        let csr = g.freeze();
+        let table = SourceLandmarkTable::exact(&csr, std::slice::from_ref(&tree), &index);
         let view = table.view(0, &tree, &index);
         let mut out = SourceReplacementDistances::new(&tree);
         for t in 1..g.vertex_count() {
-            relax_near_large(&g, &tree, t, &landmarks, &index, &view, &params, 1, &mut out);
+            relax_near_large(&csr, &tree, t, &landmarks, &index, &view, &params, 1, &mut out);
             for (i, &got) in out.row(t).iter().enumerate() {
                 if got != INFINITE_DISTANCE {
                     let e = tree.path_edge(t, i).unwrap();
@@ -126,10 +128,11 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         let params = MsrpParams::default();
         let (tree, landmarks, index) = setup(&g, 0, &params);
-        let table = SourceLandmarkTable::exact(&g, std::slice::from_ref(&tree), &index);
+        let csr = g.freeze();
+        let table = SourceLandmarkTable::exact(&csr, std::slice::from_ref(&tree), &index);
         let view = table.view(0, &tree, &index);
         let mut out = SourceReplacementDistances::new(&tree);
-        relax_near_large(&g, &tree, 2, &landmarks, &index, &view, &params, 1, &mut out);
+        relax_near_large(&csr, &tree, 2, &landmarks, &index, &view, &params, 1, &mut out);
         assert!(out.row(2).is_empty());
     }
 }

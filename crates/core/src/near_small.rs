@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 
 use msrp_graph::{
-    DijkstraResult, Distance, Graph, ShortestPathTree, Vertex, WeightedDigraph, INFINITE_WEIGHT,
+    CsrGraph, DijkstraResult, Distance, ShortestPathTree, Vertex, WeightedDigraph, INFINITE_WEIGHT,
 };
 use msrp_rpath::SourceReplacementDistances;
 
@@ -54,7 +54,7 @@ pub struct NearSmallResult {
 
 /// Builds the auxiliary graph for one source and runs Dijkstra on it.
 pub fn build_near_small(
-    g: &Graph,
+    g: &CsrGraph,
     tree_s: &ShortestPathTree,
     params: &MsrpParams,
     sigma: usize,
@@ -104,7 +104,7 @@ pub fn build_near_small(
     // Edges into pair nodes.
     for (&(t, edge_child), &pair_idx) in &node_of_pair {
         let edge_parent = tree_s.parent(edge_child).expect("near edge child has a parent");
-        for &v in g.neighbors(t) {
+        for v in g.neighbors(t) {
             if !tree_s.is_reachable(v) {
                 continue;
             }
@@ -228,7 +228,7 @@ mod tests {
         let g = connected_gnm(30, 75, &mut rng).unwrap();
         let tree = ShortestPathTree::build(&g, 0);
         let truth = single_source_brute_force(&g, &tree);
-        let near = build_near_small(&g, &tree, &params(), 1);
+        let near = build_near_small(&g.freeze(), &tree, &params(), 1);
         let mut out = SourceReplacementDistances::new(&tree);
         near.apply_to(&tree, &mut out);
         for (t, i, d) in truth.iter() {
@@ -244,7 +244,7 @@ mod tests {
     fn candidates_are_always_valid_paths() {
         let g = grid_graph(4, 4);
         let tree = ShortestPathTree::build(&g, 0);
-        let near = build_near_small(&g, &tree, &params(), 1);
+        let near = build_near_small(&g.freeze(), &tree, &params(), 1);
         for (t, child, w) in near.iter() {
             let parent = tree.parent(child).unwrap();
             let truth = replacement_distance(&g, 0, t, Edge::new(parent, child));
@@ -256,7 +256,7 @@ mod tests {
     fn reconstructed_paths_avoid_the_edge_and_have_the_right_length() {
         let g = cycle_graph(9);
         let tree = ShortestPathTree::build(&g, 0);
-        let near = build_near_small(&g, &tree, &params(), 1);
+        let near = build_near_small(&g.freeze(), &tree, &params(), 1);
         for (t, child, w) in near.iter() {
             let parent = tree.parent(child).unwrap();
             let avoided = Edge::new(parent, child);
@@ -276,7 +276,7 @@ mod tests {
         // In a path graph, removing any edge disconnects the target: no [t, e] label.
         let g = msrp_graph::generators::path_graph(6);
         let tree = ShortestPathTree::build(&g, 0);
-        let near = build_near_small(&g, &tree, &params(), 1);
+        let near = build_near_small(&g.freeze(), &tree, &params(), 1);
         assert_eq!(near.iter().count(), 0);
         assert!(near.distance(3, 2).is_none());
         assert!(near.node_count() > 0);
@@ -290,7 +290,7 @@ mod tests {
         // length 1 by stepping from [0] straight over the forbidden edge.
         let g = cycle_graph(5);
         let tree = ShortestPathTree::build(&g, 0);
-        let near = build_near_small(&g, &tree, &params(), 1);
+        let near = build_near_small(&g.freeze(), &tree, &params(), 1);
         assert_eq!(near.distance(1, 1), Some(4));
     }
 }

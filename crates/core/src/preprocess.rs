@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use msrp_graph::{Distance, Graph, ShortestPathTree, Vertex, INFINITE_DISTANCE};
+use msrp_graph::{BfsScratch, CsrGraph, Distance, ShortestPathTree, Vertex, INFINITE_DISTANCE};
 
 /// BFS trees rooted at a list of special vertices (landmarks in Section 5, centers in
 /// Section 8), plus a vertex → index map.
@@ -15,13 +15,15 @@ pub struct BfsIndex {
 }
 
 impl BfsIndex {
-    /// Runs BFS from every vertex in `vertices` (`O(|vertices|·(m + n))` total).
-    pub fn build(g: &Graph, vertices: &[Vertex]) -> Self {
+    /// Runs BFS from every vertex in `vertices` (`O(|vertices|·(m + n))` total) over the CSR
+    /// view, sharing one set of scratch buffers across all the searches.
+    pub fn build(g: &CsrGraph, vertices: &[Vertex]) -> Self {
+        let mut scratch = BfsScratch::new();
         let mut index_of = HashMap::with_capacity(vertices.len());
         let mut trees = Vec::with_capacity(vertices.len());
         for (i, &v) in vertices.iter().enumerate() {
             index_of.insert(v, i);
-            trees.push(ShortestPathTree::build(g, v));
+            trees.push(ShortestPathTree::build_with_scratch(g, v, &mut scratch));
         }
         BfsIndex { vertices: vertices.to_vec(), index_of, trees }
     }
@@ -77,7 +79,7 @@ mod tests {
 
     #[test]
     fn builds_one_tree_per_vertex() {
-        let g = cycle_graph(10);
+        let g = cycle_graph(10).freeze();
         let idx = BfsIndex::build(&g, &[0, 3, 7]);
         assert_eq!(idx.len(), 3);
         assert!(!idx.is_empty());
@@ -91,7 +93,7 @@ mod tests {
 
     #[test]
     fn distances_match_bfs() {
-        let g = cycle_graph(12);
+        let g = cycle_graph(12).freeze();
         let idx = BfsIndex::build(&g, &[2, 9]);
         assert_eq!(idx.distance(0, 8), 6);
         assert_eq!(idx.distance(1, 0), 3);
@@ -101,7 +103,7 @@ mod tests {
 
     #[test]
     fn empty_index_is_fine() {
-        let g = cycle_graph(5);
+        let g = cycle_graph(5).freeze();
         let idx = BfsIndex::build(&g, &[]);
         assert!(idx.is_empty());
         assert_eq!(idx.len(), 0);

@@ -6,7 +6,7 @@
 //! ([`SourceLandmarkTable::exact`]); for general `σ` Section 8's path-cover machinery builds the
 //! same table within the `Õ(m√(nσ) + σn²)` budget (see the `multi_source` module).
 
-use msrp_graph::{Distance, Edge, Graph, ShortestPathTree, INFINITE_DISTANCE};
+use msrp_graph::{CsrGraph, Distance, Edge, ShortestPathTree, INFINITE_DISTANCE};
 use msrp_rpath::single_pair_replacement_paths;
 
 use crate::preprocess::BfsIndex;
@@ -26,8 +26,8 @@ impl SourceLandmarkTable {
     }
 
     /// Builds the table with the classical `Õ(m + n)` routine per (source, landmark) pair
-    /// (`Õ((m + n)·σ·|L|)` total) — exact, no randomness.
-    pub fn exact(g: &Graph, source_trees: &[ShortestPathTree], landmarks: &BfsIndex) -> Self {
+    /// (`Õ((m + n)·σ·|L|)` total) — exact, no randomness. Runs over the frozen CSR view.
+    pub fn exact(g: &CsrGraph, source_trees: &[ShortestPathTree], landmarks: &BfsIndex) -> Self {
         let mut rows = Vec::with_capacity(source_trees.len());
         for tree_s in source_trees {
             let mut per_landmark = Vec::with_capacity(landmarks.len());
@@ -110,11 +110,12 @@ mod tests {
     fn exact_table_matches_brute_force() {
         let mut rng = StdRng::seed_from_u64(5);
         let g = connected_gnm(24, 48, &mut rng).unwrap();
+        let csr = g.freeze();
         let sources = [0usize, 5];
         let landmark_vertices: Vec<usize> = vec![2, 7, 11, 19, 23];
-        let landmarks = BfsIndex::build(&g, &landmark_vertices);
+        let landmarks = BfsIndex::build(&csr, &landmark_vertices);
         let trees: Vec<_> = sources.iter().map(|&s| ShortestPathTree::build(&g, s)).collect();
-        let table = SourceLandmarkTable::exact(&g, &trees, &landmarks);
+        let table = SourceLandmarkTable::exact(&csr, &trees, &landmarks);
         assert_eq!(table.source_count(), 2);
         assert!(table.entry_count() > 0);
         for (s_idx, &s) in sources.iter().enumerate() {
@@ -133,9 +134,10 @@ mod tests {
     #[test]
     fn view_falls_back_to_base_distance_off_path() {
         let g = cycle_graph(8);
-        let landmarks = BfsIndex::build(&g, &[3]);
+        let csr = g.freeze();
+        let landmarks = BfsIndex::build(&csr, &[3]);
         let tree = ShortestPathTree::build(&g, 0);
-        let table = SourceLandmarkTable::exact(&g, std::slice::from_ref(&tree), &landmarks);
+        let table = SourceLandmarkTable::exact(&csr, std::slice::from_ref(&tree), &landmarks);
         let view = table.view(0, &tree, &landmarks);
         // Edge (5, 6) is not on the canonical path 0-1-2-3.
         assert_eq!(view.replacement(0, Edge::new(5, 6)), 3);

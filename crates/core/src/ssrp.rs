@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use msrp_graph::{Graph, ShortestPathTree, Vertex};
+use msrp_graph::{CsrGraph, Graph, ShortestPathTree, Vertex};
 use msrp_rpath::SourceReplacementDistances;
 
 use crate::far::relax_far_edges;
@@ -29,7 +29,7 @@ use crate::stats::AlgorithmStats;
 /// Algorithms 3 and 4 for every target.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn complete_source(
-    g: &Graph,
+    g: &CsrGraph,
     tree_s: &ShortestPathTree,
     landmarks: &SampledLevels,
     landmark_index: &BfsIndex,
@@ -84,13 +84,25 @@ pub(crate) fn complete_source(
 /// assert_eq!(out.distances.get(2, 0), Some(8));
 /// ```
 pub fn solve_ssrp(g: &Graph, source: Vertex, params: &MsrpParams) -> SsrpOutput {
+    solve_ssrp_csr(&g.freeze(), source, params)
+}
+
+/// CSR entry point of [`solve_ssrp`]: the whole pipeline (source tree, landmark BFS, the
+/// auxiliary-graph Dijkstra, the completion sweeps) traverses the frozen view, so callers
+/// holding a long-lived [`CsrGraph`] (the oracle's parallel shard build, the serving layer)
+/// freeze once and share it.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range for `g`.
+pub fn solve_ssrp_csr(g: &CsrGraph, source: Vertex, params: &MsrpParams) -> SsrpOutput {
     assert!(source < g.vertex_count(), "source {source} out of range");
     let n = g.vertex_count();
     let sigma = 1;
     let mut stats = AlgorithmStats { sigma, ..Default::default() };
 
     let start = Instant::now();
-    let tree = ShortestPathTree::build(g, source);
+    let tree = ShortestPathTree::build_csr(g, source);
     stats.record_phase("source BFS tree", start.elapsed());
 
     let start = Instant::now();

@@ -1,8 +1,10 @@
 //! Verification helpers: compare solver outputs against the brute-force ground truth
 //! (experiment E3 and the integration tests are built on these).
 
-use msrp_graph::Graph;
-use msrp_rpath::{compare, single_source_brute_force, ComparisonReport};
+use msrp_graph::{BfsScratch, Graph};
+use msrp_rpath::{
+    compare, single_source_brute_force, single_source_brute_force_with_scratch, ComparisonReport,
+};
 
 use crate::output::{MsrpOutput, SsrpOutput};
 
@@ -12,14 +14,17 @@ pub fn verify_ssrp(g: &Graph, output: &SsrpOutput) -> ComparisonReport {
     compare(&truth, &output.distances)
 }
 
-/// Compares every source of an MSRP output against the brute-force ground truth.
+/// Compares every source of an MSRP output against the brute-force ground truth (one frozen
+/// CSR view and one set of BFS scratch buffers shared across all the sources).
 pub fn verify_msrp(g: &Graph, output: &MsrpOutput) -> Vec<ComparisonReport> {
+    let csr = g.freeze();
+    let mut scratch = BfsScratch::new();
     output
         .per_source
         .iter()
         .zip(output.trees.iter())
         .map(|(dist, tree)| {
-            let truth = single_source_brute_force(g, tree);
+            let truth = single_source_brute_force_with_scratch(&csr, tree, &mut scratch);
             compare(&truth, dist)
         })
         .collect()

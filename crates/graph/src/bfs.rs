@@ -3,6 +3,12 @@
 //! BFS is the workhorse of every algorithm in this reproduction: shortest-path trees are BFS
 //! trees, the brute-force ground truth reruns BFS with an edge removed, and the preprocessing
 //! phase runs BFS from every landmark and every center.
+//!
+//! The entry points here traverse the adjacency-list [`Graph`] directly and are kept as the
+//! seed representation (and as the baseline the `graph_csr` bench compares against). Hot
+//! paths should freeze the graph once ([`Graph::freeze`]) and run
+//! [`bfs_csr`](crate::bfs_csr) / [`BfsScratch`](crate::BfsScratch) over the CSR view, which
+//! produces bit-for-bit identical results on a flat, cache-friendly layout.
 
 use std::collections::VecDeque;
 

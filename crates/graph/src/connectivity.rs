@@ -5,6 +5,7 @@
 //! module to predict which replacement distances must be infinite, and the experiment harness
 //! uses it to characterize workloads.
 
+use crate::csr::CsrGraph;
 use crate::edge::Edge;
 use crate::graph::{Graph, Vertex};
 
@@ -40,7 +41,18 @@ impl ConnectivityReport {
 }
 
 /// Runs the iterative low-link DFS over all components of `g`.
+///
+/// Convenience wrapper that freezes `g` and runs [`analyze_connectivity_csr`]; callers that
+/// already hold a [`CsrGraph`] should use that entry point directly.
 pub fn analyze_connectivity(g: &Graph) -> ConnectivityReport {
+    analyze_connectivity_csr(&g.freeze())
+}
+
+/// Runs the iterative low-link DFS over all components of the CSR view of a graph.
+///
+/// Freezing preserves adjacency order, so the report is identical to what the adjacency-list
+/// representation produced.
+pub fn analyze_connectivity_csr(g: &CsrGraph) -> ConnectivityReport {
     let n = g.vertex_count();
     let mut disc = vec![usize::MAX; n];
     let mut low = vec![usize::MAX; n];
@@ -62,7 +74,7 @@ pub fn analyze_connectivity(g: &Graph) -> ConnectivityReport {
         while let Some(&(v, i)) = stack.last() {
             if i < g.degree(v) {
                 stack.last_mut().expect("non-empty").1 += 1;
-                let w = g.neighbors(v)[i];
+                let w = g.neighbor_row(v)[i] as Vertex;
                 // Skip the edge to the DFS parent (graphs are simple, so there is exactly one).
                 if parent[v] == Some(w) {
                     continue;
@@ -112,7 +124,7 @@ pub fn analyze_connectivity(g: &Graph) -> ConnectivityReport {
         let mut stack = vec![start];
         component[start] = id;
         while let Some(v) = stack.pop() {
-            for &w in g.neighbors(v) {
+            for w in g.neighbors(v) {
                 if component[w] == usize::MAX && bridges.binary_search(&Edge::new(v, w)).is_err() {
                     component[w] = id;
                     stack.push(w);
@@ -208,6 +220,13 @@ mod tests {
             let r = analyze_connectivity(&g);
             assert_eq!(r.bridges, brute_force_bridges(&g), "n = {n}");
         }
+    }
+
+    #[test]
+    fn csr_entry_point_matches_the_graph_one() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = connected_gnm(25, 30, &mut rng).unwrap();
+        assert_eq!(analyze_connectivity_csr(&g.freeze()), analyze_connectivity(&g));
     }
 
     #[test]

@@ -1,0 +1,487 @@
+//! The frozen compressed-sparse-row (CSR) traversal core.
+//!
+//! Every algorithm in this reproduction is BFS-dominated: shortest-path trees are BFS trees,
+//! the solver's preprocessing runs one BFS per landmark and per center, and the brute-force
+//! comparator runs one BFS per tree edge per source. [`Graph`] stores one heap-allocated
+//! `Vec` per vertex, which is convenient for the mutating generators but pointer-chasing for
+//! traversal. [`CsrGraph`] is the same graph *frozen* into two flat arrays:
+//!
+//! * `offsets[v]..offsets[v + 1]` delimits the neighbour row of `v` inside `targets`;
+//! * `targets` concatenates all adjacency rows, each row in ascending vertex order.
+//!
+//! Freezing preserves the sorted-neighbour order of [`Graph`], so every BFS tree, every
+//! canonical path, and every seeded experiment computed over the CSR view is bit-for-bit
+//! identical to the seed representation — only the memory layout (and therefore the cache
+//! behaviour) changes. [`CsrGraph::thaw`] converts back for the mutating generators.
+
+use crate::distance::INFINITE_DISTANCE;
+use crate::edge::Edge;
+use crate::graph::{Graph, Vertex};
+
+/// An immutable, cache-friendly CSR snapshot of a [`Graph`].
+///
+/// ```
+/// use msrp_graph::{bfs, bfs_csr, Graph};
+///
+/// # fn main() -> Result<(), msrp_graph::GraphError> {
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])?;
+/// let csr = g.freeze();
+/// assert_eq!(csr.vertex_count(), 4);
+/// assert_eq!(csr.degree(1), 2);
+/// assert!(csr.has_edge(3, 0));
+/// // Traversals agree bit-for-bit with the adjacency-list representation.
+/// assert_eq!(bfs_csr(&csr, 0), bfs(&g, 0));
+/// // And thawing round-trips exactly.
+/// assert_eq!(csr.thaw(), g);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` is the row of `v` in `targets`; length `n + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbour rows (length `2m`), each row sorted ascending.
+    targets: Vec<u32>,
+    /// Number of undirected edges (`targets.len() / 2`, cached).
+    edge_count: usize,
+}
+
+impl Default for CsrGraph {
+    fn default() -> Self {
+        CsrGraph { offsets: vec![0], targets: Vec::new(), edge_count: 0 }
+    }
+}
+
+impl CsrGraph {
+    /// Builds the CSR arrays from sorted adjacency rows (the freeze half of the round trip).
+    pub(crate) fn from_sorted_adj(adj: &[Vec<Vertex>], edge_count: usize) -> Self {
+        let n = adj.len();
+        assert!(n < u32::MAX as usize, "CSR vertex ids are u32");
+        let total: usize = adj.iter().map(Vec::len).sum();
+        assert!(total <= u32::MAX as usize, "CSR offsets are u32");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for row in adj {
+            targets.extend(row.iter().map(|&w| w as u32));
+            offsets.push(targets.len() as u32);
+        }
+        CsrGraph { offsets, targets, edge_count }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns an iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
+        0..self.vertex_count()
+    }
+
+    /// The raw CSR row of `v`: its neighbours as `u32`, in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbor_row(&self, v: Vertex) -> &[u32] {
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// The neighbours of `v` in ascending order (same order as [`Graph::neighbors`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> impl Iterator<Item = Vertex> + '_ {
+        self.neighbor_row(v).iter().map(|&w| w as Vertex)
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Returns `true` when the edge `{u, v}` is present (binary search of the smaller row).
+    #[inline]
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        let n = self.vertex_count();
+        if u >= n || v >= n {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbor_row(a).binary_search(&(b as u32)).is_ok()
+    }
+
+    /// Iterates over all edges, each reported once in normalized order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbor_row(u)
+                .iter()
+                .filter(move |&&v| u < v as usize)
+                .map(move |&v| Edge::new(u, v as usize))
+        })
+    }
+
+    /// Collects all edges into a vector (normalized, sorted order).
+    pub fn edge_vec(&self) -> Vec<Edge> {
+        self.edges().collect()
+    }
+
+    /// Returns `true` when every vertex is reachable from vertex 0 (vacuously true when empty).
+    pub fn is_connected(&self) -> bool {
+        let n = self.vertex_count();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for w in self.neighbors(v) {
+                if !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Average degree `2m / n` (0 for an empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.vertex_count() == 0 {
+            0.0
+        } else {
+            2.0 * self.edge_count as f64 / self.vertex_count() as f64
+        }
+    }
+
+    /// Converts back to the mutable adjacency-list representation (the thaw half of the
+    /// round trip). `g.freeze().thaw() == g` exactly, because both representations keep
+    /// neighbour rows sorted.
+    pub fn thaw(&self) -> Graph {
+        let adj: Vec<Vec<Vertex>> = self.vertices().map(|v| self.neighbors(v).collect()).collect();
+        Graph::from_sorted_adj_parts(adj, self.edge_count)
+    }
+}
+
+/// Reusable BFS buffers: distances, parents and the queue/visit order, reset in `O(visited)`
+/// between runs instead of reallocated.
+///
+/// The `build_exact` edge-removal loop and the `msrp-rpath` brute force run one BFS per tree
+/// edge; with a scratch they stop paying three `Vec` allocations (and an `O(n)` fill) per BFS.
+/// The queue itself doubles as the visit order, so resetting only touches the entries the
+/// previous run actually wrote.
+///
+/// ```
+/// use msrp_graph::{bfs, BfsScratch, Graph};
+///
+/// # fn main() -> Result<(), msrp_graph::GraphError> {
+/// let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])?;
+/// let csr = g.freeze();
+/// let mut scratch = BfsScratch::new();
+/// for s in 0..5 {
+///     scratch.run(&csr, s);
+///     assert_eq!(scratch.to_result(), bfs(&g, s));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BfsScratch {
+    dist: Vec<crate::distance::Distance>,
+    parent: Vec<Option<Vertex>>,
+    /// The BFS queue; after a run it holds the reachable vertices in dequeue order.
+    order: Vec<Vertex>,
+    source: Vertex,
+}
+
+impl BfsScratch {
+    /// Creates an empty scratch; buffers are sized lazily on the first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the buffers for a graph with `n` vertices in `O(visited)` (full `O(n)` init only
+    /// when the vertex count changes).
+    fn reset(&mut self, n: usize) {
+        if self.dist.len() != n {
+            self.dist.clear();
+            self.dist.resize(n, INFINITE_DISTANCE);
+            self.parent.clear();
+            self.parent.resize(n, None);
+            self.order.clear();
+            self.order.reserve(n);
+        } else {
+            for &v in &self.order {
+                self.dist[v] = INFINITE_DISTANCE;
+                self.parent[v] = None;
+            }
+            self.order.clear();
+        }
+    }
+
+    /// Runs BFS from `source` over the CSR graph, visiting neighbours in ascending order
+    /// (bit-for-bit the same trees as [`bfs`](crate::bfs())).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn run(&mut self, g: &CsrGraph, source: Vertex) {
+        self.run_impl(g, source, None);
+    }
+
+    /// Runs BFS from `source` in `G \ {avoid}` without materializing the modified graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn run_avoiding(&mut self, g: &CsrGraph, source: Vertex, avoid: Edge) {
+        self.run_impl(g, source, Some(avoid));
+    }
+
+    fn run_impl(&mut self, g: &CsrGraph, source: Vertex, avoid: Option<Edge>) {
+        let n = g.vertex_count();
+        assert!(source < n, "BFS source {source} out of range (n = {n})");
+        self.reset(n);
+        self.source = source;
+        // Disjoint borrows of the three buffers, so the hot loop's loads and stores carry
+        // noalias information (matching what the local-variable seed kernel gets for free).
+        let dist = &mut self.dist[..];
+        let parent = &mut self.parent[..];
+        let order = &mut self.order;
+        dist[source] = 0;
+        order.push(source);
+        let mut head = 0;
+        // The avoided-edge test is hoisted out of the hot loop: the plain kernel pays no
+        // per-neighbour branch, and the avoiding kernel tests the single forbidden pair.
+        match avoid {
+            None => {
+                while head < order.len() {
+                    let v = order[head];
+                    head += 1;
+                    let dv = dist[v];
+                    for &w in g.neighbor_row(v) {
+                        let w = w as usize;
+                        if dist[w] == INFINITE_DISTANCE {
+                            dist[w] = dv + 1;
+                            parent[w] = Some(v);
+                            order.push(w);
+                        }
+                    }
+                }
+            }
+            Some(e) => {
+                let (lo, hi) = e.endpoints();
+                while head < order.len() {
+                    let v = order[head];
+                    head += 1;
+                    let dv = dist[v];
+                    for &w in g.neighbor_row(v) {
+                        let w = w as usize;
+                        if (v == lo && w == hi) || (v == hi && w == lo) {
+                            continue;
+                        }
+                        if dist[w] == INFINITE_DISTANCE {
+                            dist[w] = dv + 1;
+                            parent[w] = Some(v);
+                            order.push(w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The source of the last run.
+    #[inline]
+    pub fn source(&self) -> Vertex {
+        self.source
+    }
+
+    /// Distances of the last run (`INFINITE_DISTANCE` for unreachable vertices).
+    #[inline]
+    pub fn dist(&self) -> &[crate::distance::Distance] {
+        &self.dist
+    }
+
+    /// BFS-tree parents of the last run (`None` for the source and unreachable vertices).
+    #[inline]
+    pub fn parent(&self) -> &[Option<Vertex>] {
+        &self.parent
+    }
+
+    /// Reachable vertices of the last run in dequeue order (source first).
+    #[inline]
+    pub fn order(&self) -> &[Vertex] {
+        &self.order
+    }
+
+    /// Clones the buffers of the last run into an owned [`BfsResult`](crate::BfsResult).
+    pub fn to_result(&self) -> crate::BfsResult {
+        crate::BfsResult {
+            source: self.source,
+            dist: self.dist.clone(),
+            parent: self.parent.clone(),
+            order: self.order.clone(),
+        }
+    }
+
+    /// Moves the buffers of the last run into an owned [`BfsResult`](crate::BfsResult)
+    /// without copying (for one-shot searches that do not reuse the scratch).
+    pub fn into_result(self) -> crate::BfsResult {
+        crate::BfsResult {
+            source: self.source,
+            dist: self.dist,
+            parent: self.parent,
+            order: self.order,
+        }
+    }
+}
+
+/// Runs BFS from `source` over the CSR graph (one-shot; allocates fresh buffers).
+///
+/// For repeated searches prefer a shared [`BfsScratch`].
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_csr(g: &CsrGraph, source: Vertex) -> crate::BfsResult {
+    let mut scratch = BfsScratch::new();
+    scratch.run(g, source);
+    scratch.into_result()
+}
+
+/// Runs BFS from `source` in `G \ {avoid}` over the CSR graph (one-shot).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_csr_avoiding_edge(g: &CsrGraph, source: Vertex, avoid: Edge) -> crate::BfsResult {
+    let mut scratch = BfsScratch::new();
+    scratch.run_avoiding(g, source, avoid);
+    scratch.into_result()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::{bfs, bfs_avoiding_edge};
+
+    fn sample() -> Graph {
+        Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 3), (2, 5)]).unwrap()
+    }
+
+    #[test]
+    fn freeze_preserves_counts_rows_and_queries() {
+        let g = sample();
+        let csr = g.freeze();
+        assert_eq!(csr.vertex_count(), g.vertex_count());
+        assert_eq!(csr.edge_count(), g.edge_count());
+        assert_eq!(csr.average_degree(), g.average_degree());
+        assert_eq!(csr.is_connected(), g.is_connected());
+        assert_eq!(csr.edge_vec(), g.edge_vec());
+        for v in g.vertices() {
+            assert_eq!(csr.degree(v), g.degree(v));
+            assert_eq!(csr.neighbors(v).collect::<Vec<_>>(), g.neighbors(v));
+        }
+        for u in 0..7 {
+            for v in 0..7 {
+                if u != v {
+                    assert_eq!(csr.has_edge(u, v), g.has_edge(u, v), "({u}, {v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thaw_round_trips_exactly() {
+        let g = sample();
+        assert_eq!(g.freeze().thaw(), g);
+        let empty = Graph::new(0);
+        assert_eq!(empty.freeze().thaw(), empty);
+        let isolated = Graph::new(3);
+        assert_eq!(isolated.freeze().thaw(), isolated);
+    }
+
+    #[test]
+    fn default_is_the_empty_graph() {
+        let csr = CsrGraph::default();
+        assert_eq!(csr.vertex_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+        assert!(csr.is_connected());
+        assert_eq!(csr.average_degree(), 0.0);
+        assert_eq!(csr, Graph::new(0).freeze());
+    }
+
+    #[test]
+    fn csr_bfs_matches_seed_bfs_bit_for_bit() {
+        let g = sample();
+        let csr = g.freeze();
+        for s in g.vertices() {
+            assert_eq!(bfs_csr(&csr, s), bfs(&g, s), "source {s}");
+        }
+        for e in g.edges() {
+            assert_eq!(bfs_csr_avoiding_edge(&csr, 0, e), bfs_avoiding_edge(&g, 0, e), "{e}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let g = sample();
+        let csr = g.freeze();
+        let mut scratch = BfsScratch::new();
+        for s in g.vertices() {
+            scratch.run(&csr, s);
+            let fresh = bfs(&g, s);
+            assert_eq!(scratch.source(), s);
+            assert_eq!(scratch.dist(), &fresh.dist[..]);
+            assert_eq!(scratch.parent(), &fresh.parent[..]);
+            assert_eq!(scratch.order(), &fresh.order[..]);
+            assert_eq!(scratch.to_result(), fresh);
+        }
+        // Reuse across graphs of different sizes forces a full re-init.
+        let small = Graph::from_edges(2, &[(0, 1)]).unwrap().freeze();
+        scratch.run(&small, 1);
+        assert_eq!(scratch.dist(), &[1, 0]);
+        scratch.run(&csr, 0);
+        assert_eq!(scratch.to_result(), bfs(&g, 0));
+    }
+
+    #[test]
+    fn scratch_resets_stale_entries_after_avoiding_runs() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let csr = g.freeze();
+        let mut scratch = BfsScratch::new();
+        scratch.run_avoiding(&csr, 0, Edge::new(1, 2));
+        assert_eq!(scratch.dist()[3], INFINITE_DISTANCE);
+        scratch.run(&csr, 0);
+        assert_eq!(scratch.dist(), &[0, 1, 2, 3]);
+        assert_eq!(scratch.parent()[3], Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_source_panics() {
+        let csr = Graph::new(2).freeze();
+        let mut scratch = BfsScratch::new();
+        scratch.run(&csr, 5);
+    }
+}

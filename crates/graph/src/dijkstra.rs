@@ -2,8 +2,16 @@
 //!
 //! The MSRP algorithm never runs Dijkstra on the input graph (it is unweighted), but Sections
 //! 7.1, 8.1, 8.2 and 8.3 of the paper all build *auxiliary* weighted digraphs whose shortest
-//! paths encode replacement distances; this module provides the digraph container and the
+//! paths encode replacement distances; this module provides the digraph builder and the
 //! search those sections run.
+//!
+//! The builder ([`WeightedDigraph`]) is a flat edge list — appending a node or an edge never
+//! allocates per node — and [`WeightedDigraph::freeze`] packs it into the same
+//! compressed-sparse-row layout the unweighted [`CsrGraph`](crate::CsrGraph) uses
+//! ([`WeightedCsr`]), which is what Dijkstra actually traverses. The freeze is a stable
+//! counting sort by source node, so each node's out-edges keep their insertion order and the
+//! relaxation order (and therefore every predecessor tree) is identical to the historical
+//! per-node `Vec<Vec<(usize, Weight)>>` representation.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -14,7 +22,7 @@ pub type Weight = u64;
 /// Distance reported for unreachable auxiliary nodes.
 pub const INFINITE_WEIGHT: Weight = Weight::MAX;
 
-/// A directed graph with non-negative integer edge weights.
+/// A directed graph with non-negative integer edge weights, stored as a growable edge list.
 ///
 /// ```
 /// use msrp_graph::WeightedDigraph;
@@ -31,8 +39,26 @@ pub const INFINITE_WEIGHT: Weight = Weight::MAX;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct WeightedDigraph {
-    adj: Vec<Vec<(usize, Weight)>>,
-    edge_count: usize,
+    nodes: usize,
+    /// `(source, target, weight)` triples in insertion order.
+    edges: Vec<(u32, u32, Weight)>,
+}
+
+/// A frozen CSR view of a [`WeightedDigraph`]: one flat target array and one flat weight
+/// array, delimited per node by `offsets`. This is the representation Dijkstra traverses.
+#[derive(Clone, Debug)]
+pub struct WeightedCsr {
+    /// `offsets[u]..offsets[u + 1]` delimits the out-edges of `u`; length `node_count + 1`.
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<Weight>,
+}
+
+impl Default for WeightedCsr {
+    /// The empty digraph (`offsets` keeps its length-`n + 1` invariant).
+    fn default() -> Self {
+        WeightedCsr { offsets: vec![0], targets: Vec::new(), weights: Vec::new() }
+    }
 }
 
 /// The output of a Dijkstra run: distances and a shortest-path tree (predecessors).
@@ -49,23 +75,25 @@ pub struct DijkstraResult {
 impl WeightedDigraph {
     /// Creates a digraph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        WeightedDigraph { adj: vec![Vec::new(); n], edge_count: 0 }
+        assert!(n < u32::MAX as usize, "node ids are u32");
+        WeightedDigraph { nodes: n, edges: Vec::new() }
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.nodes
     }
 
     /// Number of directed edges.
     pub fn edge_count(&self) -> usize {
-        self.edge_count
+        self.edges.len()
     }
 
     /// Appends a new isolated node and returns its index.
     pub fn add_node(&mut self) -> usize {
-        self.adj.push(Vec::new());
-        self.adj.len() - 1
+        assert!(self.nodes < u32::MAX as usize - 1, "node ids are u32");
+        self.nodes += 1;
+        self.nodes - 1
     }
 
     /// Adds a directed edge `u -> v` with weight `w`.
@@ -76,23 +104,78 @@ impl WeightedDigraph {
     ///
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize, w: Weight) {
-        assert!(u < self.adj.len() && v < self.adj.len(), "edge endpoint out of range");
-        self.adj[u].push((v, w));
-        self.edge_count += 1;
+        assert!(u < self.nodes && v < self.nodes, "edge endpoint out of range");
+        self.edges.push((u as u32, v as u32, w));
     }
 
-    /// Out-neighbours of `u` with weights.
-    pub fn neighbors(&self, u: usize) -> &[(usize, Weight)] {
-        &self.adj[u]
+    /// Packs the edge list into the CSR layout Dijkstra traverses.
+    ///
+    /// The counting sort by source node is stable, so each node's out-edges keep their
+    /// insertion order and relaxation order is deterministic.
+    pub fn freeze(&self) -> WeightedCsr {
+        let n = self.nodes;
+        assert!(self.edges.len() <= u32::MAX as usize, "CSR offsets are u32");
+        let mut offsets = vec![0u32; n + 1];
+        for &(u, _, _) in &self.edges {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; self.edges.len()];
+        let mut weights = vec![0 as Weight; self.edges.len()];
+        for &(u, v, w) in &self.edges {
+            let slot = cursor[u as usize] as usize;
+            cursor[u as usize] += 1;
+            targets[slot] = v;
+            weights[slot] = w;
+        }
+        WeightedCsr { offsets, targets, weights }
     }
 
-    /// Runs Dijkstra from `source` over the whole digraph.
+    /// Runs Dijkstra from `source` (freezes into [`WeightedCsr`] and searches that).
+    ///
+    /// Auxiliary graphs are built once and searched once, so the `O(n + m)` freeze is
+    /// amortized into the search; callers that search the same digraph repeatedly should
+    /// [`freeze`](Self::freeze) once and call [`WeightedCsr::dijkstra`] themselves.
     ///
     /// # Panics
     ///
     /// Panics if `source` is out of range.
     pub fn dijkstra(&self, source: usize) -> DijkstraResult {
-        let n = self.adj.len();
+        self.freeze().dijkstra(source)
+    }
+}
+
+impl WeightedCsr {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbours of `u` with weights, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, Weight)> + '_ {
+        let range = self.offsets[u] as usize..self.offsets[u + 1] as usize;
+        self.targets[range.clone()].iter().zip(&self.weights[range]).map(|(&v, &w)| (v as usize, w))
+    }
+
+    /// Runs Dijkstra from `source` over the CSR arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn dijkstra(&self, source: usize) -> DijkstraResult {
+        let n = self.node_count();
         assert!(source < n, "Dijkstra source out of range");
         let mut dist = vec![INFINITE_WEIGHT; n];
         let mut pred: Vec<Option<usize>> = vec![None; n];
@@ -103,7 +186,9 @@ impl WeightedDigraph {
             if d > dist[v] {
                 continue;
             }
-            for &(w, wt) in &self.adj[v] {
+            let range = self.offsets[v] as usize..self.offsets[v + 1] as usize;
+            for (&w, &wt) in self.targets[range.clone()].iter().zip(&self.weights[range]) {
+                let w = w as usize;
                 let nd = d.saturating_add(wt);
                 if nd < dist[w] {
                     dist[w] = nd;
@@ -198,7 +283,46 @@ mod tests {
         assert_eq!((a, b), (1, 2));
         assert_eq!(g.node_count(), 3);
         g.add_edge(0, b, 7);
-        assert_eq!(g.neighbors(0), &[(2, 7)]);
+        let csr = g.freeze();
+        assert_eq!(csr.neighbors(0).collect::<Vec<_>>(), vec![(2, 7)]);
+        assert_eq!(csr.neighbors(1).count(), 0);
+    }
+
+    #[test]
+    fn freeze_preserves_per_node_insertion_order() {
+        let mut g = WeightedDigraph::new(3);
+        g.add_edge(2, 0, 5);
+        g.add_edge(0, 2, 1);
+        g.add_edge(2, 1, 3);
+        g.add_edge(0, 1, 4);
+        let csr = g.freeze();
+        assert_eq!(csr.node_count(), 3);
+        assert_eq!(csr.edge_count(), 4);
+        assert_eq!(csr.neighbors(0).collect::<Vec<_>>(), vec![(2, 1), (1, 4)]);
+        assert_eq!(csr.neighbors(2).collect::<Vec<_>>(), vec![(0, 5), (1, 3)]);
+    }
+
+    #[test]
+    fn default_csr_is_the_empty_digraph() {
+        let csr = WeightedCsr::default();
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+        assert_eq!(WeightedDigraph::default().freeze().node_count(), 0);
+    }
+
+    #[test]
+    fn frozen_csr_can_be_searched_repeatedly() {
+        let mut g = WeightedDigraph::new(4);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 3, 1);
+        g.add_edge(3, 0, 1);
+        let csr = g.freeze();
+        for s in 0..4 {
+            let r = csr.dijkstra(s);
+            assert_eq!(r.dist[(s + 3) % 4], 3, "source {s}");
+            assert_eq!(r.source, s);
+        }
     }
 
     #[test]

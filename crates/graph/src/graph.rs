@@ -1,5 +1,6 @@
 //! The undirected, unweighted, simple graph used by every algorithm in the workspace.
 
+use crate::csr::CsrGraph;
 use crate::edge::Edge;
 use crate::error::GraphError;
 
@@ -185,6 +186,24 @@ impl Graph {
             }
         }
         count == n
+    }
+
+    /// Freezes the graph into its immutable [`CsrGraph`] form — the representation every
+    /// traversal-heavy phase (BFS trees, the brute-force comparator, the solver's
+    /// preprocessing) runs on.
+    ///
+    /// Freezing preserves the sorted adjacency order, so all traversals over the CSR view are
+    /// bit-for-bit identical to traversals over this representation; see
+    /// [`CsrGraph::thaw`] for the inverse.
+    pub fn freeze(&self) -> CsrGraph {
+        CsrGraph::from_sorted_adj(&self.adj, self.edge_count)
+    }
+
+    /// Rebuilds a graph from already-sorted adjacency rows (the thaw half of the CSR round
+    /// trip; callers guarantee the rows are sorted, symmetric and simple).
+    pub(crate) fn from_sorted_adj_parts(adj: Vec<Vec<Vertex>>, edge_count: usize) -> Self {
+        debug_assert!(adj.iter().all(|row| row.windows(2).all(|w| w[0] < w[1])));
+        Graph { adj, edge_count }
     }
 
     /// Average degree `2m / n` (0 for an empty graph).

@@ -31,6 +31,7 @@
 
 mod bfs;
 mod connectivity;
+mod csr;
 mod cuckoo;
 mod dijkstra;
 mod distance;
@@ -44,9 +45,10 @@ mod tree;
 pub mod generators;
 
 pub use bfs::{bfs, bfs_avoiding_edge, bfs_distances, BfsResult};
-pub use connectivity::{analyze_connectivity, ConnectivityReport};
+pub use connectivity::{analyze_connectivity, analyze_connectivity_csr, ConnectivityReport};
+pub use csr::{bfs_csr, bfs_csr_avoiding_edge, BfsScratch, CsrGraph};
 pub use cuckoo::CuckooHashMap;
-pub use dijkstra::{DijkstraResult, WeightedDigraph, INFINITE_WEIGHT};
+pub use dijkstra::{DijkstraResult, Weight, WeightedCsr, WeightedDigraph, INFINITE_WEIGHT};
 pub use distance::{dist_add, dist_add3, dist_min, is_finite, Distance, INFINITE_DISTANCE};
 pub use edge::Edge;
 pub use error::GraphError;

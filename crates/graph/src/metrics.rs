@@ -5,7 +5,7 @@
 //! graph's diameter exceeds it, so the experiment harness reports these metrics next to every
 //! workload to make the regime explicit.
 
-use crate::bfs::bfs_distances;
+use crate::csr::BfsScratch;
 use crate::distance::{Distance, INFINITE_DISTANCE};
 use crate::graph::{Graph, Vertex};
 
@@ -35,9 +35,12 @@ pub struct GraphMetrics {
     pub degree_max: usize,
 }
 
-/// Computes all metrics with one BFS per vertex (`O(n·(m + n))`).
+/// Computes all metrics with one BFS per vertex (`O(n·(m + n))`), run over a frozen CSR view
+/// with shared scratch buffers (no allocation inside the loop).
 pub fn graph_metrics(g: &Graph) -> GraphMetrics {
     let n = g.vertex_count();
+    let csr = g.freeze();
+    let mut scratch = BfsScratch::new();
     let mut eccentricity = vec![0 as Distance; n];
     let mut component = vec![usize::MAX; n];
     let mut component_count = 0usize;
@@ -45,7 +48,8 @@ pub fn graph_metrics(g: &Graph) -> GraphMetrics {
     let mut pair_count: u64 = 0;
 
     for v in 0..n {
-        let dist = bfs_distances(g, v);
+        scratch.run(&csr, v);
+        let dist = scratch.dist();
         if component[v] == usize::MAX {
             let id = component_count;
             component_count += 1;
@@ -92,15 +96,19 @@ pub fn diameter_lower_bound(g: &Graph, start: Vertex) -> Distance {
     if g.vertex_count() == 0 {
         return 0;
     }
-    let first = bfs_distances(g, start);
-    let far = first
+    let csr = g.freeze();
+    let mut scratch = BfsScratch::new();
+    scratch.run(&csr, start);
+    let far = scratch
+        .dist()
         .iter()
         .enumerate()
         .filter(|(_, &d)| d != INFINITE_DISTANCE)
         .max_by_key(|(_, &d)| d)
         .map(|(v, _)| v)
         .unwrap_or(start);
-    bfs_distances(g, far).into_iter().filter(|&d| d != INFINITE_DISTANCE).max().unwrap_or(0)
+    scratch.run(&csr, far);
+    scratch.dist().iter().copied().filter(|&d| d != INFINITE_DISTANCE).max().unwrap_or(0)
 }
 
 #[cfg(test)]

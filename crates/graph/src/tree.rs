@@ -6,6 +6,7 @@
 //! ancestry test, which we answer in `O(1)` using Euler-tour entry/exit times.
 
 use crate::bfs::{bfs, BfsResult};
+use crate::csr::{bfs_csr, BfsScratch, CsrGraph};
 use crate::distance::{Distance, INFINITE_DISTANCE};
 use crate::edge::Edge;
 use crate::graph::{Graph, Vertex};
@@ -43,6 +44,28 @@ impl ShortestPathTree {
     /// Panics if `source` is out of range for `g`.
     pub fn build(g: &Graph, source: Vertex) -> Self {
         Self::from_bfs(bfs(g, source))
+    }
+
+    /// Builds the BFS tree rooted at `source` over the CSR view (bit-for-bit the same tree as
+    /// [`build`](Self::build), since freezing preserves adjacency order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range for `g`.
+    pub fn build_csr(g: &CsrGraph, source: Vertex) -> Self {
+        Self::from_bfs(bfs_csr(g, source))
+    }
+
+    /// Builds the BFS tree rooted at `source` reusing the caller's [`BfsScratch`] buffers —
+    /// the preferred entry point when many trees are built over the same graph (landmark and
+    /// center preprocessing, `build_exact`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range for `g`.
+    pub fn build_with_scratch(g: &CsrGraph, source: Vertex, scratch: &mut BfsScratch) -> Self {
+        scratch.run(g, source);
+        Self::from_bfs(scratch.to_result())
     }
 
     /// Builds the tree from an existing BFS result.

@@ -1,7 +1,7 @@
 //! Applications of replacement paths: link-failure recovery simulation and Vickrey pricing.
 //!
 //! The replacement-path literature the paper builds on is motivated by two applications:
-//! restoration of MPLS paths after a link failure (Afek et al., cited as [1] in the paper) and
+//! restoration of MPLS paths after a link failure (Afek et al., cited as \[1\] in the paper) and
 //! Vickrey pricing of edges owned by selfish agents (Hershberger–Suri; Nisan–Ronen). This crate
 //! provides both on top of the `msrp-oracle` query interface:
 //!

@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use msrp_core::MsrpParams;
-use msrp_graph::{bfs_avoiding_edge, Distance, Edge, Graph, Vertex, INFINITE_DISTANCE};
+use msrp_graph::{BfsScratch, Distance, Edge, Graph, Vertex, INFINITE_DISTANCE};
 use msrp_oracle::ReplacementPathOracle;
 
 /// Configuration of a simulation run.
@@ -117,8 +117,13 @@ pub fn run_simulation(g: &Graph, config: &SimulationConfig) -> SimulationReport 
     assert!(g.edge_count() > 0, "the network must have links");
     let mut rng = StdRng::seed_from_u64(config.seed);
 
+    // One frozen CSR view serves the oracle build and every recomputed answer; the
+    // recompute loop reuses one set of BFS buffers across all failures.
+    let csr = g.freeze();
+    let mut scratch = BfsScratch::new();
+
     let build_start = Instant::now();
-    let oracle = ReplacementPathOracle::build(g, &config.gateways, &config.params);
+    let oracle = ReplacementPathOracle::build_csr(&csr, &config.gateways, &config.params);
     let oracle_build_time = build_start.elapsed();
 
     let edges = g.edge_vec();
@@ -146,7 +151,8 @@ pub fn run_simulation(g: &Graph, config: &SimulationConfig) -> SimulationReport 
             oracle_query_time += start.elapsed();
 
             let start = Instant::now();
-            let recomputed = bfs_avoiding_edge(g, gw, edge).dist[dest];
+            scratch.run_avoiding(&csr, gw, edge);
+            let recomputed = scratch.dist()[dest];
             recompute_time += start.elapsed();
 
             if via_oracle != recomputed {
@@ -202,9 +208,12 @@ pub fn run_simulation_with_service(
     assert!(g.edge_count() > 0, "the network must have links");
     let mut rng = StdRng::seed_from_u64(config.seed);
 
+    let csr = g.freeze();
+    let mut scratch = BfsScratch::new();
+
     let build_start = Instant::now();
-    let service = QueryService::build_and_start(
-        g,
+    let service = QueryService::build_and_start_csr(
+        &csr,
         &config.gateways,
         &config.params,
         shards,
@@ -243,7 +252,8 @@ pub fn run_simulation_with_service(
             let via_service = answer.expect("gateway is a source");
 
             let start = Instant::now();
-            let recomputed = bfs_avoiding_edge(g, q.source, edge).dist[q.target];
+            scratch.run_avoiding(&csr, q.source, edge);
+            let recomputed = scratch.dist()[q.target];
             recompute_time += start.elapsed();
 
             if via_service != recomputed {

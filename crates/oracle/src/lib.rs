@@ -17,11 +17,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use msrp_core::{solve_msrp, MsrpOutput, MsrpParams};
+use msrp_core::{solve_msrp_csr, MsrpOutput, MsrpParams};
 use msrp_graph::{
-    CuckooHashMap, Distance, Edge, Graph, ShortestPathTree, Vertex, INFINITE_DISTANCE,
+    BfsScratch, CsrGraph, CuckooHashMap, Distance, Edge, Graph, ShortestPathTree, Vertex,
+    INFINITE_DISTANCE,
 };
-use msrp_rpath::{single_source_brute_force, SourceReplacementDistances};
+use msrp_rpath::single_source_brute_force_with_scratch;
+use msrp_rpath::SourceReplacementDistances;
 
 /// A single-edge-fault distance oracle for a fixed set of sources.
 ///
@@ -45,9 +47,15 @@ pub struct ReplacementPathOracle {
 }
 
 impl ReplacementPathOracle {
-    /// Builds the oracle by running the paper's MSRP algorithm.
+    /// Builds the oracle by running the paper's MSRP algorithm (freezes `g` once and runs
+    /// every traversal over the CSR view).
     pub fn build(g: &Graph, sources: &[Vertex], params: &MsrpParams) -> Self {
-        let out = solve_msrp(g, sources, params);
+        Self::build_csr(&g.freeze(), sources, params)
+    }
+
+    /// CSR entry point of [`build`](Self::build) for callers that already hold a frozen view.
+    pub fn build_csr(g: &CsrGraph, sources: &[Vertex], params: &MsrpParams) -> Self {
+        let out = solve_msrp_csr(g, sources, params);
         Self::from_msrp_output(out)
     }
 
@@ -55,7 +63,7 @@ impl ReplacementPathOracle {
     ///
     /// The per-source solves of `msrp_core` are independent, so each worker runs the full MSRP
     /// solver on a contiguous shard of the sources (see [`shard_sources`]) and the per-source
-    /// rows are merged back in input order with [`from_shards`]. The sharding is a pure
+    /// rows are merged back in input order with [`from_shards`](Self::from_shards). The sharding is a pure
     /// function of `(sources, threads)`, so a given `(graph, sources, params, threads)` tuple
     /// always reproduces the same oracle; and because every construction route computes the
     /// same replacement *distances*, answers agree across thread counts whenever the solver is
@@ -75,6 +83,17 @@ impl ReplacementPathOracle {
         threads: usize,
     ) -> Self {
         Self::from_shards(build_shards(g, sources, params, threads))
+    }
+
+    /// CSR entry point of [`build_parallel`](Self::build_parallel): all shard workers traverse
+    /// the caller's frozen view (no per-shard copy of the adjacency structure).
+    pub fn build_parallel_csr(
+        g: &CsrGraph,
+        sources: &[Vertex],
+        params: &MsrpParams,
+        threads: usize,
+    ) -> Self {
+        Self::from_shards(build_shards_csr(g, sources, params, threads))
     }
 
     /// Merges per-shard oracles (each covering a disjoint slice of the sources) into one
@@ -110,10 +129,24 @@ impl ReplacementPathOracle {
     }
 
     /// Builds the oracle by brute force (one BFS per tree edge per source); exact, used as the
-    /// comparator in tests and experiment E5.
+    /// comparator in tests and experiment E5. Freezes `g` once.
     pub fn build_exact(g: &Graph, sources: &[Vertex]) -> Self {
-        let trees: Vec<_> = sources.iter().map(|&s| ShortestPathTree::build(g, s)).collect();
-        let distances = trees.iter().map(|t| single_source_brute_force(g, t)).collect();
+        Self::build_exact_csr(&g.freeze(), sources)
+    }
+
+    /// CSR entry point of [`build_exact`](Self::build_exact): the whole edge-removal loop —
+    /// one BFS per tree edge per source — runs through a single shared [`BfsScratch`], so it
+    /// performs no per-BFS allocation.
+    pub fn build_exact_csr(g: &CsrGraph, sources: &[Vertex]) -> Self {
+        let mut scratch = BfsScratch::new();
+        let trees: Vec<_> = sources
+            .iter()
+            .map(|&s| ShortestPathTree::build_with_scratch(g, s, &mut scratch))
+            .collect();
+        let distances = trees
+            .iter()
+            .map(|t| single_source_brute_force_with_scratch(g, t, &mut scratch))
+            .collect();
         ReplacementPathOracle { sources: sources.to_vec(), trees, distances }
     }
 
@@ -263,6 +296,9 @@ pub fn shard_sources(sources: &[Vertex], shards: usize) -> Vec<&[Vertex]> {
 /// [`ReplacementPathOracle::build_parallel`]; it is public so that serving layers
 /// (`msrp-serve`'s `ShardedOracle`) can keep the shards separate instead of merging them.
 ///
+/// Freezes `g` into a [`CsrGraph`] once and hands every worker the same frozen view; see
+/// [`build_shards_csr`].
+///
 /// `threads == 0` is treated as 1 (built inline, no thread spawned); thread counts above σ
 /// are clamped to σ.
 ///
@@ -276,14 +312,31 @@ pub fn build_shards(
     params: &MsrpParams,
     threads: usize,
 ) -> Vec<ReplacementPathOracle> {
+    build_shards_csr(&g.freeze(), sources, params, threads)
+}
+
+/// CSR entry point of [`build_shards`]: every scoped worker traverses the *same* frozen
+/// graph through a shared reference — the adjacency structure is built exactly once, no
+/// matter how many shards are constructed (an `Arc<CsrGraph>` gives the same sharing to
+/// non-scoped callers).
+///
+/// # Panics
+///
+/// Same as [`build_shards`].
+pub fn build_shards_csr(
+    g: &CsrGraph,
+    sources: &[Vertex],
+    params: &MsrpParams,
+    threads: usize,
+) -> Vec<ReplacementPathOracle> {
     let threads = threads.max(1).min(sources.len().max(1));
     if threads == 1 {
-        return vec![ReplacementPathOracle::build(g, sources, params)];
+        return vec![ReplacementPathOracle::build_csr(g, sources, params)];
     }
     std::thread::scope(|scope| {
         let handles: Vec<_> = shard_sources(sources, threads)
             .into_iter()
-            .map(|chunk| scope.spawn(move || ReplacementPathOracle::build(g, chunk, params)))
+            .map(|chunk| scope.spawn(move || ReplacementPathOracle::build_csr(g, chunk, params)))
             .collect();
         handles.into_iter().map(|h| h.join().expect("oracle shard worker panicked")).collect()
     })

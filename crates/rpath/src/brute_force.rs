@@ -4,7 +4,9 @@
 //! the workspace is validated against them (unit tests, property tests, experiment E3), and
 //! (2) they are the "recompute from scratch" baseline the benchmarks compare against.
 
-use msrp_graph::{bfs_avoiding_edge, Distance, Edge, Graph, ShortestPathTree, Vertex};
+use msrp_graph::{
+    bfs_avoiding_edge, BfsScratch, CsrGraph, Distance, Edge, Graph, ShortestPathTree, Vertex,
+};
 
 use crate::distances::SourceReplacementDistances;
 
@@ -28,12 +30,41 @@ pub fn replacement_distance(g: &Graph, s: Vertex, t: Vertex, e: Edge) -> Distanc
 /// the canonical `s–t` path, the exact value of `|st ⋄ e_i|`.
 ///
 /// Runs one BFS per tree edge of `tree` (so `O(n·(m + n))` time), then distributes the result to
-/// every target whose canonical path uses that edge.
+/// every target whose canonical path uses that edge. Convenience wrapper that freezes `g` once
+/// and runs [`single_source_brute_force_csr`] over the CSR view.
 ///
 /// # Panics
 ///
 /// Panics if `tree` is not rooted at a vertex of `g`.
 pub fn single_source_brute_force(g: &Graph, tree: &ShortestPathTree) -> SourceReplacementDistances {
+    single_source_brute_force_csr(&g.freeze(), tree)
+}
+
+/// CSR entry point of [`single_source_brute_force`] (allocates one private scratch).
+///
+/// # Panics
+///
+/// Panics if `tree` is not rooted at a vertex of `g`.
+pub fn single_source_brute_force_csr(
+    g: &CsrGraph,
+    tree: &ShortestPathTree,
+) -> SourceReplacementDistances {
+    let mut scratch = BfsScratch::new();
+    single_source_brute_force_with_scratch(g, tree, &mut scratch)
+}
+
+/// The brute-force inner loop: one edge-avoiding BFS per tree edge, all through the caller's
+/// [`BfsScratch`] so the `O(n)` searches share one set of buffers (this is what
+/// `msrp-oracle::build_exact` runs per source).
+///
+/// # Panics
+///
+/// Panics if `tree` is not rooted at a vertex of `g`.
+pub fn single_source_brute_force_with_scratch(
+    g: &CsrGraph,
+    tree: &ShortestPathTree,
+    scratch: &mut BfsScratch,
+) -> SourceReplacementDistances {
     let n = g.vertex_count();
     let s = tree.source();
     assert!(s < n, "tree root out of range for the graph");
@@ -47,10 +78,10 @@ pub fn single_source_brute_force(g: &Graph, tree: &ShortestPathTree) -> SourceRe
         };
         let e = Edge::new(p, c);
         let pos = tree.distance_or_infinite(c) as usize - 1;
-        let alt = bfs_avoiding_edge(g, s, e);
-        for t in 0..n {
+        scratch.run_avoiding(g, s, e);
+        for (t, &d) in scratch.dist().iter().enumerate() {
             if tree.is_reachable(t) && tree.is_ancestor(c, t) {
-                out.set(t, pos, alt.dist[t]);
+                out.set(t, pos, d);
             }
         }
     }

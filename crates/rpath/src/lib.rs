@@ -36,9 +36,14 @@ mod most_vital;
 mod single_pair;
 mod ssrp_baseline;
 
-pub use brute_force::{replacement_distance, single_source_brute_force};
+pub use brute_force::{
+    replacement_distance, single_source_brute_force, single_source_brute_force_csr,
+    single_source_brute_force_with_scratch,
+};
 pub use compare::{compare, ComparisonReport, Mismatch};
 pub use distances::SourceReplacementDistances;
-pub use most_vital::{most_vital_edge, most_vital_edges, VitalEdge};
+pub use most_vital::{
+    most_vital_edge, most_vital_edge_csr, most_vital_edges, most_vital_edges_csr, VitalEdge,
+};
 pub use single_pair::single_pair_replacement_paths;
-pub use ssrp_baseline::single_source_via_single_pair;
+pub use ssrp_baseline::{single_source_via_single_pair, single_source_via_single_pair_csr};

@@ -7,7 +7,7 @@
 //! well-tested layer over [`crate::single_pair_replacement_paths`].
 
 use msrp_graph::{
-    bfs_distances, Distance, Edge, Graph, ShortestPathTree, Vertex, INFINITE_DISTANCE,
+    bfs_csr, CsrGraph, Distance, Edge, Graph, ShortestPathTree, Vertex, INFINITE_DISTANCE,
 };
 
 use crate::single_pair::single_pair_replacement_paths;
@@ -38,8 +38,15 @@ impl VitalEdge {
 /// (bridges first, then by decreasing replacement distance; ties broken by path position).
 ///
 /// Returns an empty vector when `t` is unreachable from the tree's source or equals it.
+/// Convenience wrapper that freezes `g` and calls [`most_vital_edges_csr`]; callers ranking
+/// many targets should freeze once themselves.
 pub fn most_vital_edges(g: &Graph, tree: &ShortestPathTree, t: Vertex) -> Vec<VitalEdge> {
-    let dist_to_t = bfs_distances(g, t);
+    most_vital_edges_csr(&g.freeze(), tree, t)
+}
+
+/// CSR entry point of [`most_vital_edges`].
+pub fn most_vital_edges_csr(g: &CsrGraph, tree: &ShortestPathTree, t: Vertex) -> Vec<VitalEdge> {
+    let dist_to_t = bfs_csr(g, t).dist;
     let replacements = single_pair_replacement_paths(g, tree, t, &dist_to_t);
     let mut out: Vec<VitalEdge> = tree
         .path_edges(t)
@@ -60,6 +67,11 @@ pub fn most_vital_edges(g: &Graph, tree: &ShortestPathTree, t: Vertex) -> Vec<Vi
 /// The single most vital edge of the `s–t` pair, if the path has any edge.
 pub fn most_vital_edge(g: &Graph, tree: &ShortestPathTree, t: Vertex) -> Option<VitalEdge> {
     most_vital_edges(g, tree, t).into_iter().next()
+}
+
+/// CSR entry point of [`most_vital_edge`].
+pub fn most_vital_edge_csr(g: &CsrGraph, tree: &ShortestPathTree, t: Vertex) -> Option<VitalEdge> {
+    most_vital_edges_csr(g, tree, t).into_iter().next()
 }
 
 #[cfg(test)]
@@ -111,6 +123,18 @@ mod tests {
         assert!(most_vital_edges(&g, &tree, 3).is_empty());
         assert!(most_vital_edge(&g, &tree, 3).is_none());
         assert!(most_vital_edge(&g, &tree, 0).is_none());
+    }
+
+    #[test]
+    fn csr_entry_points_match_the_graph_ones() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = connected_gnm(30, 60, &mut rng).unwrap();
+        let csr = g.freeze();
+        let tree = ShortestPathTree::build(&g, 0);
+        for t in 1..30 {
+            assert_eq!(most_vital_edges_csr(&csr, &tree, t), most_vital_edges(&g, &tree, t));
+        }
+        assert_eq!(most_vital_edge_csr(&csr, &tree, 5), most_vital_edge(&g, &tree, 5));
     }
 
     #[test]

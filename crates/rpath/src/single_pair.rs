@@ -36,10 +36,12 @@
 
 use std::collections::BTreeMap;
 
-use msrp_graph::{dist_add, Distance, Graph, ShortestPathTree, Vertex, INFINITE_DISTANCE};
+use msrp_graph::{dist_add, CsrGraph, Distance, ShortestPathTree, Vertex, INFINITE_DISTANCE};
 
 /// Computes `|st ⋄ e_i|` for every edge `e_i` on the canonical path from the tree root to `t`.
 ///
+/// * `g` — the frozen CSR view of the graph (freeze once with
+///   [`Graph::freeze`](msrp_graph::Graph::freeze) and amortize over many targets);
 /// * `tree` — the BFS tree of the source (`T_s`), which defines the canonical path;
 /// * `dist_to_t` — BFS distances *from `t`* to every vertex (undirected, so these equal the
 ///   distances *to* `t`).
@@ -51,7 +53,7 @@ use msrp_graph::{dist_add, Distance, Graph, ShortestPathTree, Vertex, INFINITE_D
 ///
 /// Panics if `dist_to_t` has the wrong length.
 pub fn single_pair_replacement_paths(
-    g: &Graph,
+    g: &CsrGraph,
     tree: &ShortestPathTree,
     t: Vertex,
     dist_to_t: &[Distance],
@@ -143,19 +145,20 @@ pub fn single_pair_replacement_paths(
 mod tests {
     use super::*;
     use crate::brute_force::single_source_brute_force;
-    use msrp_graph::bfs_distances;
     use msrp_graph::generators::{
         complete_bipartite, connected_gnm, cycle_graph, grid_graph, hypercube, path_graph,
     };
+    use msrp_graph::{bfs_distances, Graph};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn check_against_brute_force(g: &Graph, s: Vertex) {
+        let csr = g.freeze();
         let tree = ShortestPathTree::build(g, s);
         let truth = single_source_brute_force(g, &tree);
         for t in 0..g.vertex_count() {
             let dist_to_t = bfs_distances(g, t);
-            let fast = single_pair_replacement_paths(g, &tree, t, &dist_to_t);
+            let fast = single_pair_replacement_paths(&csr, &tree, t, &dist_to_t);
             assert_eq!(fast.len(), truth.row(t).len(), "row length for target {t}");
             for (i, &v) in fast.iter().enumerate() {
                 assert_eq!(
@@ -203,7 +206,7 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         let tree = ShortestPathTree::build(&g, 0);
         let dist_to_2 = bfs_distances(&g, 2);
-        assert!(single_pair_replacement_paths(&g, &tree, 2, &dist_to_2).is_empty());
+        assert!(single_pair_replacement_paths(&g.freeze(), &tree, 2, &dist_to_2).is_empty());
     }
 
     #[test]
@@ -211,7 +214,7 @@ mod tests {
         let g = cycle_graph(5);
         let tree = ShortestPathTree::build(&g, 1);
         let dist = bfs_distances(&g, 1);
-        assert!(single_pair_replacement_paths(&g, &tree, 1, &dist).is_empty());
+        assert!(single_pair_replacement_paths(&g.freeze(), &tree, 1, &dist).is_empty());
     }
 
     #[test]
@@ -221,7 +224,7 @@ mod tests {
             .unwrap();
         let tree = ShortestPathTree::build(&g, 0);
         let dist_to_5 = bfs_distances(&g, 5);
-        let r = single_pair_replacement_paths(&g, &tree, 5, &dist_to_5);
+        let r = single_pair_replacement_paths(&g.freeze(), &tree, 5, &dist_to_5);
         // Canonical path 0-1? depends on tree; use positions via path edges.
         let edges = tree.path_edges(5);
         let bridge_pos = edges.iter().position(|e| *e == msrp_graph::Edge::new(2, 3)).unwrap();

@@ -4,24 +4,35 @@
 //! This is the strongest *simple* baseline for the single-source problem and the one the paper's
 //! `Õ(m√n + n²)` algorithm is designed to beat; experiment E1 plots both.
 
-use msrp_graph::{bfs_distances, Graph, ShortestPathTree};
+use msrp_graph::{BfsScratch, CsrGraph, Graph, ShortestPathTree};
 
 use crate::distances::SourceReplacementDistances;
 use crate::single_pair::single_pair_replacement_paths;
 
 /// Computes all single-source replacement paths by invoking the classical `Õ(m + n)` single-pair
-/// routine once per target (`Õ(mn)` total).
+/// routine once per target (`Õ(mn)` total). Freezes `g` once and runs
+/// [`single_source_via_single_pair_csr`] over the CSR view.
 pub fn single_source_via_single_pair(
     g: &Graph,
     tree: &ShortestPathTree,
 ) -> SourceReplacementDistances {
+    single_source_via_single_pair_csr(&g.freeze(), tree)
+}
+
+/// CSR entry point of [`single_source_via_single_pair`]: the per-target BFS runs through one
+/// shared [`BfsScratch`], so the `Õ(mn)` loop performs no per-target allocation.
+pub fn single_source_via_single_pair_csr(
+    g: &CsrGraph,
+    tree: &ShortestPathTree,
+) -> SourceReplacementDistances {
+    let mut scratch = BfsScratch::new();
     let mut out = SourceReplacementDistances::new(tree);
     for t in 0..g.vertex_count() {
         if t == tree.source() || !tree.is_reachable(t) {
             continue;
         }
-        let dist_to_t = bfs_distances(g, t);
-        let row = single_pair_replacement_paths(g, tree, t, &dist_to_t);
+        scratch.run(g, t);
+        let row = single_pair_replacement_paths(g, tree, t, scratch.dist());
         for (i, &d) in row.iter().enumerate() {
             out.set(t, i, d);
         }

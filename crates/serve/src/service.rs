@@ -6,8 +6,8 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use msrp_core::MsrpParams;
-use msrp_graph::{Distance, Edge, Graph, Vertex};
-use msrp_oracle::{build_shards, ReplacementPathOracle};
+use msrp_graph::{CsrGraph, Distance, Edge, Graph, Vertex};
+use msrp_oracle::{build_shards, build_shards_csr, ReplacementPathOracle};
 
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 
@@ -52,6 +52,22 @@ impl ShardedOracle {
     /// out-of-range sources) and if a construction worker panics.
     pub fn build(g: &Graph, sources: &[Vertex], params: &MsrpParams, shard_count: usize) -> Self {
         Self::from_shards(build_shards(g, sources, params, shard_count))
+    }
+
+    /// Like [`build`](Self::build), but over an already-frozen CSR view: every construction
+    /// worker traverses the caller's `CsrGraph` through a shared reference, so the adjacency
+    /// structure exists exactly once no matter how many shards are built.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`build`](Self::build).
+    pub fn build_csr(
+        g: &CsrGraph,
+        sources: &[Vertex],
+        params: &MsrpParams,
+        shard_count: usize,
+    ) -> Self {
+        Self::from_shards(build_shards_csr(g, sources, params, shard_count))
     }
 
     /// Wraps pre-built shards (which must cover disjoint source sets).
@@ -227,6 +243,18 @@ impl QueryService {
         config: &ServiceConfig,
     ) -> Self {
         Self::start(ShardedOracle::build(g, sources, params, shards), config)
+    }
+
+    /// Convenience constructor over an already-frozen CSR view (the graph is shared across
+    /// every shard construction worker, never copied).
+    pub fn build_and_start_csr(
+        g: &CsrGraph,
+        sources: &[Vertex],
+        params: &MsrpParams,
+        shards: usize,
+        config: &ServiceConfig,
+    ) -> Self {
+        Self::start(ShardedOracle::build_csr(g, sources, params, shards), config)
     }
 
     /// Enqueues a batch without waiting for it; pair with [`PendingBatch::wait`].

@@ -1,9 +1,9 @@
-//! Experiment harness: regenerates the derived tables E1–E8 described in `EXPERIMENTS.md`.
+//! Experiment harness: regenerates the derived tables E1–E9 described in `EXPERIMENTS.md`.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run -p msrp-bench --release --bin experiments -- [e1|...|e8|all] [--quick] [--list]
+//! cargo run -p msrp-bench --release --bin experiments -- [e1|...|e9|all] [--quick] [--list]
 //! ```
 //!
 //! `--quick` shrinks the instance sizes so that every experiment finishes in a few seconds
@@ -13,22 +13,26 @@
 
 use std::env;
 
-use msrp_bench::{evenly_spaced_sources, standard_graph, time_secs, Table, WorkloadKind};
+use msrp_bench::{
+    evenly_spaced_sources, standard_graph, standard_weighted_graph, time_secs, Table, WorkloadKind,
+};
 use msrp_bmm::{multiply_via_msrp, BoolMatrix};
 use msrp_core::{
-    solve_msrp, solve_ssrp, verify::exactness, verify::verify_msrp, MsrpParams,
-    SourceToLandmarkStrategy,
+    solve_msrp, solve_msrp_weighted, solve_ssrp, verify::exactness, verify::verify_msrp,
+    MsrpParams, SourceToLandmarkStrategy,
 };
-use msrp_graph::{bfs_avoiding_edge, Graph, ShortestPathTree};
+use msrp_graph::{bfs_avoiding_edge, DijkstraScratch, Graph, ShortestPathTree};
 use msrp_netsim::{run_simulation, run_simulation_with_service, SimulationConfig};
 use msrp_oracle::ReplacementPathOracle;
-use msrp_rpath::{single_source_brute_force, single_source_via_single_pair};
+use msrp_rpath::{
+    single_source_brute_force, single_source_brute_force_weighted, single_source_via_single_pair,
+};
 use msrp_serve::{run_closed_loop, LoadConfig, QueryService, ServiceConfig, ShardedOracle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Every experiment id with its one-line description (printed by `--list`).
-const EXPERIMENTS: [(&str, &str); 8] = [
+const EXPERIMENTS: [(&str, &str); 9] = [
     ("e1", "single-source scaling (Theorem 14) vs the two O~(mn) baselines"),
     ("e2", "multi-source scaling in sigma (Theorem 1/26) on a fixed graph"),
     ("e3", "exactness rate of the randomized algorithm, paper vs scaled constants"),
@@ -37,6 +41,7 @@ const EXPERIMENTS: [(&str, &str); 8] = [
     ("e6", "ablations: path-cover vs exact tables, refinement sweeps, constants"),
     ("e7", "link-failure recovery simulation: oracle recovery vs recomputation"),
     ("e8", "sharded query service: parallel build, concurrent throughput, latency"),
+    ("e9", "weighted MSRP: subtree-Dijkstra solver vs weighted brute force (Section 9)"),
 ];
 
 fn main() {
@@ -86,6 +91,9 @@ fn main() {
     }
     if run("e8") {
         experiment_e8(quick);
+    }
+    if run("e9") {
+        experiment_e9(quick);
     }
 }
 
@@ -403,4 +411,51 @@ fn experiment_e8(quick: bool) {
         report.mismatches,
         report.oracle_speedup()
     );
+}
+
+/// E9 — weighted MSRP (Section 9): the subtree-Dijkstra solver against the per-tree-edge
+/// weighted brute force, with the full replacement tables compared bit for bit.
+fn experiment_e9(quick: bool) {
+    println!("\n=== E9: weighted MSRP (Section 9 lift) ===");
+    let sizes: &[usize] = if quick { &[96, 160] } else { &[128, 256, 512] };
+    let sigma = 3;
+    let mut table = Table::new([
+        "kind",
+        "n",
+        "m",
+        "solver (s)",
+        "brute force (s)",
+        "speedup",
+        "entries",
+        "all equal",
+    ]);
+    for kind in [WorkloadKind::SparseRandom, WorkloadKind::PreferentialAttachment] {
+        for &n in sizes {
+            let g = standard_weighted_graph(kind, n, 31, 1000).freeze();
+            let sources = evenly_spaced_sources(g.vertex_count(), sigma);
+            let (out, solver_secs) = time_secs(|| solve_msrp_weighted(&g, &sources));
+            // One timed brute-force pass over the solver's own canonical trees (tree
+            // construction is a negligible slice of either side) doubles as the
+            // full-table comparison: every entry compared, nothing sampled.
+            let (truth, brute_secs) = time_secs(|| {
+                let mut scratch = DijkstraScratch::new();
+                out.trees
+                    .iter()
+                    .map(|t| single_source_brute_force_weighted(&g, t, &mut scratch))
+                    .collect::<Vec<_>>()
+            });
+            let all_equal = out.per_source == truth;
+            table.add_row([
+                kind.label().to_string(),
+                g.vertex_count().to_string(),
+                g.edge_count().to_string(),
+                format!("{solver_secs:.3}"),
+                format!("{brute_secs:.3}"),
+                format!("{:.2}x", brute_secs / solver_secs.max(1e-9)),
+                out.entry_count().to_string(),
+                all_equal.to_string(),
+            ]);
+        }
+    }
+    table.print();
 }

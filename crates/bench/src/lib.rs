@@ -16,4 +16,6 @@ pub mod workloads;
 
 pub use table::Table;
 pub use timing::{time, time_secs};
-pub use workloads::{evenly_spaced_sources, standard_graph, Workload, WorkloadKind};
+pub use workloads::{
+    evenly_spaced_sources, standard_graph, standard_weighted_graph, Workload, WorkloadKind,
+};

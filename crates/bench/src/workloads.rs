@@ -3,8 +3,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use msrp_graph::generators::{barabasi_albert, connected_gnm, grid_graph, torus_graph};
-use msrp_graph::{Graph, Vertex};
+use msrp_graph::generators::{
+    barabasi_albert, connected_gnm, grid_graph, random_weights, torus_graph,
+};
+use msrp_graph::{Graph, Vertex, Weight, WeightedGraph};
 
 /// The graph families used across the experiments.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -81,6 +83,22 @@ pub fn standard_graph(kind: WorkloadKind, n: usize, seed: u64) -> Graph {
     }
 }
 
+/// The standard graph of the given kind lifted to uniform random weights in
+/// `1..=max_weight`; the weighting is drawn from a sub-seed of `seed`, so
+/// `(kind, n, seed, max_weight)` fully determines the instance (used by the
+/// `graph_weighted` bench and experiment E9).
+pub fn standard_weighted_graph(
+    kind: WorkloadKind,
+    n: usize,
+    seed: u64,
+    max_weight: Weight,
+) -> WeightedGraph {
+    let g = standard_graph(kind, n, seed);
+    // Split-mix style sub-seed: the topology and the weighting draw from distinct streams.
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
+    random_weights(&g, max_weight, &mut rng)
+}
+
 /// `sigma` sources spread evenly over `0..n`.
 pub fn evenly_spaced_sources(n: usize, sigma: usize) -> Vec<Vertex> {
     let sigma = sigma.clamp(1, n.max(1));
@@ -140,5 +158,16 @@ mod tests {
         let a = Workload::new(WorkloadKind::SparseRandom, 50, 2, 9);
         let b = Workload::new(WorkloadKind::SparseRandom, 50, 2, 9);
         assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn weighted_workloads_are_deterministic_and_weight_bounded() {
+        let a = standard_weighted_graph(WorkloadKind::SparseRandom, 64, 7, 100);
+        let b = standard_weighted_graph(WorkloadKind::SparseRandom, 64, 7, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.topology(), standard_graph(WorkloadKind::SparseRandom, 64, 7));
+        assert!(a.edges().all(|(_, w)| (1..=100).contains(&w)));
+        let c = standard_weighted_graph(WorkloadKind::SparseRandom, 64, 8, 100);
+        assert_ne!(a, c);
     }
 }

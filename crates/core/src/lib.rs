@@ -52,6 +52,7 @@ pub mod source_landmark;
 pub mod ssrp;
 pub mod stats;
 pub mod verify;
+pub mod weighted;
 
 pub use msrp::{solve_msrp, solve_msrp_csr};
 pub use output::{MsrpOutput, SsrpOutput};
@@ -60,3 +61,4 @@ pub use sampling::SampledLevels;
 pub use source_landmark::SourceLandmarkTable;
 pub use ssrp::{solve_ssrp, solve_ssrp_csr};
 pub use stats::AlgorithmStats;
+pub use weighted::{solve_msrp_weighted, WeightedMsrpOutput};

@@ -20,6 +20,13 @@ use std::collections::BinaryHeap;
 pub type Weight = u64;
 
 /// Distance reported for unreachable auxiliary nodes.
+///
+/// The sentinel doubles as the *saturation point* of distance arithmetic: any path whose
+/// length would reach `Weight::MAX` is treated as unreachable. Dijkstra never records the
+/// sentinel as a finite distance — a saturated sum equals the sentinel and can never win
+/// the strict `<` relaxation, so a vertex only reachable through such a path stays
+/// unreached (`dist == INFINITE_WEIGHT`, no predecessor, no settle). The mapping is
+/// pinned in `huge_weights_do_not_overflow`.
 pub const INFINITE_WEIGHT: Weight = Weight::MAX;
 
 /// A directed graph with non-negative integer edge weights, stored as a growable edge list.
@@ -189,6 +196,10 @@ impl WeightedCsr {
             let range = self.offsets[v] as usize..self.offsets[v + 1] as usize;
             for (&w, &wt) in self.targets[range.clone()].iter().zip(&self.weights[range]) {
                 let w = w as usize;
+                // Saturated sums equal INFINITE_WEIGHT and can never pass the strict `<`
+                // (dist[w] <= INFINITE_WEIGHT always), so the sentinel is never stored as
+                // a finite distance: saturation *is* the documented mapping to
+                // "unreachable" (`dist == INFINITE_WEIGHT ⇔ no usable path`).
                 let nd = d.saturating_add(wt);
                 if nd < dist[w] {
                     dist[w] = nd;
@@ -331,8 +342,28 @@ mod tests {
         g.add_edge(0, 1, Weight::MAX - 1);
         g.add_edge(1, 2, Weight::MAX - 1);
         let r = g.dijkstra(0);
-        // Saturating addition keeps the value at the sentinel rather than wrapping.
+        // The pinned saturation contract: a path whose length reaches the sentinel is
+        // *unreachable*, not "reachable at distance MAX" — no wrap-around, no predecessor,
+        // no path, and the huge-but-finite first hop is still reported exactly.
+        assert_eq!(r.dist[1], Weight::MAX - 1);
         assert_eq!(r.dist[2], INFINITE_WEIGHT);
+        assert!(!r.is_reachable(2));
+        assert_eq!(r.pred[2], None);
+        assert_eq!(r.path_to(2), None);
+    }
+
+    #[test]
+    fn saturating_paths_do_not_mask_finite_alternatives() {
+        // 0 -> 1 -> 3 saturates; the longer-hop 0 -> 2 -> 3 route is finite and must win
+        // even though the saturating relaxation is attempted first.
+        let mut g = WeightedDigraph::new(4);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 3, Weight::MAX - 1);
+        g.add_edge(0, 2, 10);
+        g.add_edge(2, 3, 10);
+        let r = g.dijkstra(0);
+        assert_eq!(r.dist[3], 20);
+        assert_eq!(r.path_to(3), Some(vec![0, 2, 3]));
     }
 
     #[test]

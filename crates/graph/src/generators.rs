@@ -11,8 +11,10 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use crate::dijkstra::Weight;
 use crate::error::GraphError;
 use crate::graph::{Graph, Vertex};
+use crate::weighted::WeightedGraph;
 
 /// Generates an Erdős–Rényi `G(n, p)` graph.
 ///
@@ -324,6 +326,62 @@ pub fn random_geometric<R: Rng + ?Sized>(
     g
 }
 
+/// Lifts `g` to a weighted graph with independent uniform weights in `1..=max_weight`.
+///
+/// Edges are visited in normalized sorted order, so a seeded RNG fully determines the
+/// weighting — the weighted analogue of the "explicit RNG" contract every generator here
+/// follows.
+///
+/// # Panics
+///
+/// Panics if `max_weight` is 0 (zero-weight edges are legal in a [`WeightedGraph`], but a
+/// degenerate all-zero weighting is never what a caller wants from a *random* weighting)
+/// or `INFINITE_WEIGHT` (the reserved "no path" sentinel, which no edge may carry).
+pub fn random_weights<R: Rng + ?Sized>(
+    g: &Graph,
+    max_weight: Weight,
+    rng: &mut R,
+) -> WeightedGraph {
+    assert!(max_weight >= 1, "max_weight must be at least 1");
+    assert!(
+        max_weight < crate::INFINITE_WEIGHT,
+        "max_weight must stay below the INFINITE_WEIGHT sentinel"
+    );
+    WeightedGraph::from_graph(g, |_| rng.gen_range(1..=max_weight))
+}
+
+/// A connected `G(n, m)` topology (see [`connected_gnm`]) with uniform random weights in
+/// `1..=max_weight`; the default weighted workload of the benches and experiment E9.
+///
+/// # Errors
+///
+/// Returns the same errors as [`connected_gnm`].
+pub fn weighted_connected_gnm<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    max_weight: Weight,
+    rng: &mut R,
+) -> Result<WeightedGraph, GraphError> {
+    let g = connected_gnm(n, m, rng)?;
+    Ok(random_weights(&g, max_weight, rng))
+}
+
+/// A preferential-attachment topology (see [`barabasi_albert`]) with uniform random weights
+/// in `1..=max_weight` (skewed degrees under a weighted metric).
+///
+/// # Errors
+///
+/// Returns the same errors as [`barabasi_albert`].
+pub fn weighted_barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    max_weight: Weight,
+    rng: &mut R,
+) -> Result<WeightedGraph, GraphError> {
+    let g = barabasi_albert(n, k, rng)?;
+    Ok(random_weights(&g, max_weight, rng))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,6 +493,40 @@ mod tests {
         assert!(g.is_connected());
         let sparse = random_geometric(60, 0.0, false, &mut rng(2));
         assert_eq!(sparse.edge_count(), 0);
+    }
+
+    #[test]
+    fn random_weights_are_seeded_and_in_range() {
+        let g = connected_gnm(30, 70, &mut rng(5)).unwrap();
+        let a = random_weights(&g, 10, &mut rng(9));
+        let b = random_weights(&g, 10, &mut rng(9));
+        assert_eq!(a, b, "a seed must fully determine the weighting");
+        assert_eq!(a.edge_count(), g.edge_count());
+        assert!(a.edges().all(|(_, w)| (1..=10).contains(&w)));
+        let c = random_weights(&g, 10, &mut rng(10));
+        assert_ne!(a, c, "different seeds must (overwhelmingly) differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn random_weights_rejects_the_sentinel_bound() {
+        let g = path_graph(3);
+        let _ = random_weights(&g, Weight::MAX, &mut rng(0));
+    }
+
+    #[test]
+    fn weighted_generators_match_their_topologies() {
+        let w = weighted_connected_gnm(40, 90, 100, &mut rng(3)).unwrap();
+        assert_eq!(w.vertex_count(), 40);
+        assert_eq!(w.edge_count(), 90);
+        assert!(w.freeze().is_connected());
+        let w2 = weighted_connected_gnm(40, 90, 100, &mut rng(3)).unwrap();
+        assert_eq!(w, w2);
+        let ba = weighted_barabasi_albert(50, 2, 7, &mut rng(4)).unwrap();
+        assert!(ba.freeze().is_connected());
+        assert!(ba.edges().all(|(_, wt)| (1..=7).contains(&wt)));
+        assert!(weighted_connected_gnm(10, 5, 3, &mut rng(0)).is_err());
+        assert!(weighted_barabasi_albert(5, 5, 3, &mut rng(0)).is_err());
     }
 
     #[test]

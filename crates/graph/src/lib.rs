@@ -41,6 +41,7 @@ mod graph;
 mod lca;
 mod metrics;
 mod tree;
+mod weighted;
 
 pub mod generators;
 
@@ -56,3 +57,4 @@ pub use graph::{Graph, Vertex};
 pub use lca::LcaIndex;
 pub use metrics::{diameter_lower_bound, graph_metrics, GraphMetrics};
 pub use tree::ShortestPathTree;
+pub use weighted::{DijkstraScratch, WeightedCsrGraph, WeightedGraph, WeightedTree};

@@ -79,28 +79,7 @@ impl ShortestPathTree {
                 children[p].push(v);
             }
         }
-        // Iterative DFS to compute Euler entry/exit times.
-        let mut tin = vec![0u32; n];
-        let mut tout = vec![0u32; n];
-        let mut timer: u32 = 1;
-        if n > 0 {
-            let mut stack: Vec<(Vertex, usize)> = vec![(source, 0)];
-            tin[source] = timer;
-            timer += 1;
-            while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
-                if *idx < children[v].len() {
-                    let c = children[v][*idx];
-                    *idx += 1;
-                    tin[c] = timer;
-                    timer += 1;
-                    stack.push((c, 0));
-                } else {
-                    tout[v] = timer;
-                    timer += 1;
-                    stack.pop();
-                }
-            }
-        }
+        let (tin, tout) = euler_times(source, n, &children);
         ShortestPathTree { source, dist, parent, order, tin, tout }
     }
 
@@ -280,6 +259,39 @@ impl ShortestPathTree {
         }
         children
     }
+}
+
+/// Euler entry/exit times of the rooted tree given by `children` (iterative DFS from
+/// `source`; unreachable vertices keep time 0). Shared by the unweighted
+/// [`ShortestPathTree`] and the weighted [`WeightedTree`](crate::WeightedTree), whose
+/// `O(1)` ancestry tests both reduce to interval containment of these times.
+pub(crate) fn euler_times(
+    source: Vertex,
+    n: usize,
+    children: &[Vec<Vertex>],
+) -> (Vec<u32>, Vec<u32>) {
+    let mut tin = vec![0u32; n];
+    let mut tout = vec![0u32; n];
+    let mut timer: u32 = 1;
+    if n > 0 {
+        let mut stack: Vec<(Vertex, usize)> = vec![(source, 0)];
+        tin[source] = timer;
+        timer += 1;
+        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+            if *idx < children[v].len() {
+                let c = children[v][*idx];
+                *idx += 1;
+                tin[c] = timer;
+                timer += 1;
+                stack.push((c, 0));
+            } else {
+                tout[v] = timer;
+                timer += 1;
+                stack.pop();
+            }
+        }
+    }
+    (tin, tout)
 }
 
 #[cfg(test)]

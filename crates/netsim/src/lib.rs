@@ -16,6 +16,7 @@ pub mod simulation;
 pub mod vickrey;
 
 pub use simulation::{
-    run_simulation, run_simulation_with_service, FailureEvent, SimulationConfig, SimulationReport,
+    run_simulation, run_simulation_weighted, run_simulation_with_service, FailureEvent,
+    SimulationConfig, SimulationReport, WeightedSimulationReport,
 };
 pub use vickrey::{vickrey_prices, EdgePrice};

@@ -14,8 +14,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use msrp_core::MsrpParams;
-use msrp_graph::{BfsScratch, Distance, Edge, Graph, Vertex, INFINITE_DISTANCE};
-use msrp_oracle::ReplacementPathOracle;
+use msrp_graph::{
+    BfsScratch, DijkstraScratch, Distance, Edge, Graph, Vertex, Weight, WeightedCsrGraph,
+    INFINITE_DISTANCE, INFINITE_WEIGHT,
+};
+use msrp_oracle::{ReplacementPathOracle, WeightedReplacementOracle};
 
 /// Configuration of a simulation run.
 #[derive(Clone, Debug)]
@@ -283,6 +286,119 @@ pub fn run_simulation_with_service(
     }
 }
 
+/// Aggregate results of a *weighted* simulation run ([`run_simulation_weighted`]): the same
+/// columns as [`SimulationReport`] under the weighted metric (stretch sums are weighted
+/// detour costs, so they live in `u64`).
+#[derive(Clone, Debug)]
+pub struct WeightedSimulationReport {
+    /// Total number of routing queries answered.
+    pub total_queries: usize,
+    /// Queries whose oracle answer differed from Dijkstra recomputation (must be 0).
+    pub mismatches: usize,
+    /// Queries that became disconnected under the failure.
+    pub disconnected_queries: usize,
+    /// Sum over connected queries of `replacement − baseline` weighted cost.
+    pub total_stretch: u64,
+    /// Wall-clock time spent constructing the weighted oracle.
+    pub oracle_build_time: Duration,
+    /// Wall-clock time spent answering queries through the oracle.
+    pub oracle_query_time: Duration,
+    /// Wall-clock time spent answering the same queries by re-running Dijkstra.
+    pub recompute_time: Duration,
+}
+
+impl WeightedSimulationReport {
+    /// Average extra weighted cost caused by a failure, over queries that stayed connected.
+    pub fn average_stretch(&self) -> f64 {
+        let connected = self.total_queries - self.disconnected_queries;
+        if connected == 0 {
+            0.0
+        } else {
+            self.total_stretch as f64 / connected as f64
+        }
+    }
+
+    /// `recompute_time / oracle_query_time` (infinite when querying took no measurable
+    /// time); same headline as [`SimulationReport::oracle_speedup`].
+    pub fn oracle_speedup(&self) -> f64 {
+        let o = self.oracle_query_time.as_secs_f64();
+        if o == 0.0 {
+            f64::INFINITY
+        } else {
+            self.recompute_time.as_secs_f64() / o
+        }
+    }
+}
+
+/// Runs the link-failure simulation over a *weighted* network: the weighted replacement
+/// oracle (Dijkstra trees, `msrp_core::solve_msrp_weighted`) against per-failure Dijkstra
+/// recomputation. The RNG draw order matches [`run_simulation`], so a weighted and an
+/// unweighted run with the same `config` inject the same failure edges and query pairs.
+///
+/// # Panics
+///
+/// Panics if the configuration has no gateways or the network has no links.
+pub fn run_simulation_weighted(
+    g: &WeightedCsrGraph,
+    config: &SimulationConfig,
+) -> WeightedSimulationReport {
+    assert!(!config.gateways.is_empty(), "at least one gateway is required");
+    assert!(g.edge_count() > 0, "the network must have links");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut scratch = DijkstraScratch::new();
+
+    let build_start = Instant::now();
+    let oracle = WeightedReplacementOracle::build(g, &config.gateways);
+    let oracle_build_time = build_start.elapsed();
+
+    let edges: Vec<Edge> = g.edge_vec().into_iter().map(|(e, _)| e).collect();
+    let n = g.vertex_count();
+    let mut mismatches = 0;
+    let mut disconnected_queries = 0;
+    let mut total_stretch = 0u64;
+    let mut total_queries = 0;
+    let mut oracle_query_time = Duration::ZERO;
+    let mut recompute_time = Duration::ZERO;
+
+    for _ in 0..config.failures {
+        let edge = edges[rng.gen_range(0..edges.len())];
+        for _ in 0..config.queries_per_failure {
+            let gw = config.gateways[rng.gen_range(0..config.gateways.len())];
+            let dest = rng.gen_range(0..n);
+            total_queries += 1;
+
+            let start = Instant::now();
+            let via_oracle: Weight =
+                oracle.replacement_distance(gw, dest, edge).expect("gateway is a source");
+            oracle_query_time += start.elapsed();
+
+            let start = Instant::now();
+            scratch.run_avoiding(g, gw, edge);
+            let recomputed = scratch.dist()[dest];
+            recompute_time += start.elapsed();
+
+            if via_oracle != recomputed {
+                mismatches += 1;
+            }
+            if recomputed == INFINITE_WEIGHT {
+                disconnected_queries += 1;
+            } else if let Some(base) = oracle.distance(gw, dest) {
+                total_stretch += recomputed - base;
+            }
+        }
+    }
+
+    WeightedSimulationReport {
+        total_queries,
+        mismatches,
+        disconnected_queries,
+        total_stretch,
+        oracle_build_time,
+        oracle_query_time,
+        recompute_time,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,5 +503,48 @@ mod tests {
         let g = grid_graph(3, 3);
         let config = SimulationConfig { gateways: vec![], ..Default::default() };
         let _ = run_simulation(&g, &config);
+    }
+
+    #[test]
+    fn weighted_oracle_and_recomputation_always_agree() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g =
+            msrp_graph::generators::weighted_connected_gnm(36, 84, 250, &mut rng).unwrap().freeze();
+        let config = SimulationConfig {
+            gateways: vec![0, 12, 27],
+            failures: 20,
+            queries_per_failure: 8,
+            seed: 13,
+            params: MsrpParams::default(),
+        };
+        let report = run_simulation_weighted(&g, &config);
+        assert_eq!(report.mismatches, 0);
+        assert_eq!(report.total_queries, 20 * 8);
+        assert!(report.average_stretch() >= 0.0);
+        assert!(report.oracle_speedup() > 0.0);
+        assert!(report.oracle_build_time.as_nanos() > 0);
+        // Determinism: the same config replays the same workload.
+        let again = run_simulation_weighted(&g, &config);
+        assert_eq!(again.total_stretch, report.total_stretch);
+        assert_eq!(again.disconnected_queries, report.disconnected_queries);
+    }
+
+    #[test]
+    fn weighted_bridge_failures_report_disconnections() {
+        // A weighted path: every failure disconnects every downstream destination.
+        let topo = path_graph(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = msrp_graph::generators::random_weights(&topo, 40, &mut rng).freeze();
+        let config = SimulationConfig {
+            gateways: vec![0],
+            failures: 25,
+            queries_per_failure: 4,
+            seed: 5,
+            params: MsrpParams::default(),
+        };
+        let report = run_simulation_weighted(&g, &config);
+        assert_eq!(report.mismatches, 0);
+        assert!(report.disconnected_queries > 0);
+        assert_eq!(report.total_stretch, 0, "paths have no detours, only disconnections");
     }
 }

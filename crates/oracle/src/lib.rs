@@ -17,13 +17,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use msrp_core::{solve_msrp_csr, MsrpOutput, MsrpParams};
+use msrp_core::{solve_msrp_csr, solve_msrp_weighted, MsrpOutput, MsrpParams, WeightedMsrpOutput};
 use msrp_graph::{
-    BfsScratch, CsrGraph, CuckooHashMap, Distance, Edge, Graph, ShortestPathTree, Vertex,
-    INFINITE_DISTANCE,
+    BfsScratch, CsrGraph, CuckooHashMap, DijkstraScratch, Distance, Edge, Graph, ShortestPathTree,
+    Vertex, Weight, WeightedCsrGraph, WeightedTree, INFINITE_DISTANCE, INFINITE_WEIGHT,
 };
-use msrp_rpath::single_source_brute_force_with_scratch;
-use msrp_rpath::SourceReplacementDistances;
+use msrp_rpath::{
+    single_source_brute_force_weighted, single_source_brute_force_with_scratch,
+    SourceReplacementDistances, WeightedReplacementDistances,
+};
 
 /// A single-edge-fault distance oracle for a fixed set of sources.
 ///
@@ -155,6 +157,17 @@ impl ReplacementPathOracle {
         &self.sources
     }
 
+    /// Number of vertices of the graph the oracle was built over (0 for an oracle with no
+    /// trees, which no public constructor produces).
+    ///
+    /// Serving layers validate incoming `target`/`edge` ids against this bound *before*
+    /// querying: [`replacement_distance`](Self::replacement_distance) indexes its per-tree
+    /// arrays with `t` and the edge endpoints, so out-of-range ids panic (see the
+    /// `msrp-serve` protocol boundary).
+    pub fn vertex_count(&self) -> usize {
+        self.trees.first().map_or(0, |t| t.vertex_count())
+    }
+
     /// Index of `s` among the sources.
     fn source_index(&self, s: Vertex) -> Option<usize> {
         self.sources.iter().position(|&x| x == s)
@@ -169,6 +182,11 @@ impl ReplacementPathOracle {
 
     /// `QUERY(s, t, e)`: length of the shortest `s–t` path avoiding `e`, or `None` when `s` is
     /// not one of the sources. `Some(INFINITE_DISTANCE)` means the failure disconnects `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or an endpoint of `e` is at least [`vertex_count`](Self::vertex_count);
+    /// callers exposed to untrusted ids must validate first (the serving boundary does).
     pub fn replacement_distance(&self, s: Vertex, t: Vertex, e: Edge) -> Option<Distance> {
         let i = self.source_index(s)?;
         if !self.trees[i].is_reachable(t) {
@@ -218,7 +236,10 @@ impl ReplacementPathOracle {
 pub struct FlatReplacementOracle {
     table: CuckooHashMap<(u32, u32, u64), Distance>,
     base: CuckooHashMap<(u32, u32), Distance>,
-    sources: Vec<Vertex>,
+    /// Source-membership set. This used to be a `Vec` probed with `contains` — an `O(σ)`
+    /// linear scan on *every* query, contradicting the worst-case `O(1)` bound the flat
+    /// oracle exists to demonstrate; a third cuckoo probe restores the claim.
+    source_set: CuckooHashMap<u32, ()>,
 }
 
 impl FlatReplacementOracle {
@@ -226,7 +247,9 @@ impl FlatReplacementOracle {
     pub fn from_oracle(oracle: &ReplacementPathOracle) -> Self {
         let mut table = CuckooHashMap::with_capacity(2 * oracle.entry_count() + 16);
         let mut base = CuckooHashMap::new();
+        let mut source_set = CuckooHashMap::with_capacity(2 * oracle.sources.len() + 16);
         for (i, &s) in oracle.sources.iter().enumerate() {
+            source_set.insert(s as u32, ());
             let tree = &oracle.trees[i];
             for t in 0..tree.vertex_count() {
                 if let Some(d) = tree.distance(t) {
@@ -239,19 +262,35 @@ impl FlatReplacementOracle {
                 }
             }
         }
-        FlatReplacementOracle { table, base, sources: oracle.sources.clone() }
+        FlatReplacementOracle { table, base, source_set }
     }
 
-    /// `QUERY(s, t, e)` with two hash probes: the stored entry when `e` is on the canonical
-    /// path, the fault-free distance otherwise.
+    /// `QUERY(s, t, e)` with at most three hash probes — source membership, the stored entry
+    /// when `e` is on the canonical path, and the fault-free distance otherwise — each
+    /// worst-case `O(1)` (cuckoo hashing, Lemma 5). No step depends on `σ`.
     pub fn query(&self, s: Vertex, t: Vertex, e: Edge) -> Option<Distance> {
-        if !self.sources.contains(&s) {
-            return None;
+        // Ids beyond u32 cannot be table keys: such an `s` is never a source, and such a
+        // `t` is never reachable (the CSR substrate caps vertex ids at u32).
+        let s32 = match u32::try_from(s) {
+            Ok(s32) => s32,
+            Err(_) => return None,
+        };
+        self.source_set.get(&s32)?;
+        let t32 = match u32::try_from(t) {
+            Ok(t32) => t32,
+            Err(_) => return Some(INFINITE_DISTANCE),
+        };
+        // An edge endpoint beyond u32 cannot name a graph edge, and its 64-bit key would
+        // alias a real edge's key after `(lo << 32) | hi` truncation (e.g. {0, 2³² + 5}
+        // collides with {1, 5}) — such a failure is off every canonical path by
+        // definition, so skip the table probe and fall through to the base distance.
+        // Endpoints are normalized (lo < hi), so checking `hi` covers both.
+        if u32::try_from(e.hi()).is_ok() {
+            if let Some(&d) = self.table.get(&(s32, t32, e.as_key())) {
+                return Some(d);
+            }
         }
-        if let Some(&d) = self.table.get(&(s as u32, t as u32, e.as_key())) {
-            return Some(d);
-        }
-        match self.base.get(&(s as u32, t as u32)) {
+        match self.base.get(&(s32, t32)) {
             Some(&d) => Some(d),
             None => Some(INFINITE_DISTANCE),
         }
@@ -342,6 +381,163 @@ pub fn build_shards_csr(
     })
 }
 
+/// A single-edge-fault distance oracle over *weighted* graphs: the weighted mirror of
+/// [`ReplacementPathOracle`], answering `QUERY(x, y, e)` under the weighted metric from
+/// Dijkstra shortest-path trees.
+///
+/// ```
+/// use msrp_graph::{Edge, WeightedGraph};
+/// use msrp_oracle::WeightedReplacementOracle;
+///
+/// # fn main() -> Result<(), msrp_graph::GraphError> {
+/// let g = WeightedGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 10)])?;
+/// let oracle = WeightedReplacementOracle::build(&g.freeze(), &[0]);
+/// assert_eq!(oracle.distance(0, 2), Some(2));
+/// assert_eq!(oracle.replacement_distance(0, 2, Edge::new(1, 2)), Some(11));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct WeightedReplacementOracle {
+    sources: Vec<Vertex>,
+    trees: Vec<WeightedTree>,
+    distances: Vec<WeightedReplacementDistances>,
+}
+
+impl WeightedReplacementOracle {
+    /// Builds the oracle by running the weighted solver (`msrp_core::solve_msrp_weighted`,
+    /// the crossing-edge / subtree-Dijkstra algorithm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty, contains duplicates, or contains an out-of-range
+    /// vertex.
+    pub fn build(g: &WeightedCsrGraph, sources: &[Vertex]) -> Self {
+        Self::from_output(solve_msrp_weighted(g, sources))
+    }
+
+    /// Wraps an existing weighted solver output.
+    pub fn from_output(out: WeightedMsrpOutput) -> Self {
+        WeightedReplacementOracle {
+            sources: out.sources,
+            trees: out.trees,
+            distances: out.per_source,
+        }
+    }
+
+    /// Builds the oracle by brute force (one Dijkstra per tree edge per source, all through
+    /// one shared [`DijkstraScratch`]); exact, the comparator of the weighted solver in
+    /// tests and experiment E9.
+    pub fn build_exact(g: &WeightedCsrGraph, sources: &[Vertex]) -> Self {
+        let mut scratch = DijkstraScratch::new();
+        let trees: Vec<_> =
+            sources.iter().map(|&s| WeightedTree::build_with_scratch(g, s, &mut scratch)).collect();
+        let distances =
+            trees.iter().map(|t| single_source_brute_force_weighted(g, t, &mut scratch)).collect();
+        WeightedReplacementOracle { sources: sources.to_vec(), trees, distances }
+    }
+
+    /// Merges per-shard weighted oracles (disjoint source slices) into one, concatenating
+    /// the per-source rows in shard order — the weighted mirror of
+    /// [`ReplacementPathOracle::from_shards`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shards are empty or share a source.
+    pub fn from_shards(shards: Vec<WeightedReplacementOracle>) -> Self {
+        assert!(!shards.is_empty(), "at least one shard is required");
+        let mut sources = Vec::new();
+        let mut trees = Vec::new();
+        let mut distances = Vec::new();
+        for shard in shards {
+            sources.extend_from_slice(&shard.sources);
+            trees.extend(shard.trees);
+            distances.extend(shard.distances);
+        }
+        let mut dedup = sources.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sources.len(), "shards must cover disjoint sources");
+        WeightedReplacementOracle { sources, trees, distances }
+    }
+
+    /// The sources the oracle was built for.
+    pub fn sources(&self) -> &[Vertex] {
+        &self.sources
+    }
+
+    /// Number of vertices of the graph the oracle was built over (see
+    /// [`ReplacementPathOracle::vertex_count`] for why serving layers validate against it).
+    pub fn vertex_count(&self) -> usize {
+        self.trees.first().map_or(0, |t| t.vertex_count())
+    }
+
+    fn source_index(&self, s: Vertex) -> Option<usize> {
+        self.sources.iter().position(|&x| x == s)
+    }
+
+    /// Fault-free weighted distance from source `s` to `t` (`None` if `s` is not a source
+    /// or `t` is unreachable).
+    pub fn distance(&self, s: Vertex, t: Vertex) -> Option<Weight> {
+        let i = self.source_index(s)?;
+        self.trees[i].distance(t)
+    }
+
+    /// `QUERY(s, t, e)` under the weighted metric, or `None` when `s` is not one of the
+    /// sources. `Some(INFINITE_WEIGHT)` means the failure disconnects `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or an endpoint of `e` is at least [`vertex_count`](Self::vertex_count);
+    /// callers exposed to untrusted ids must validate first (the serving boundary does).
+    pub fn replacement_distance(&self, s: Vertex, t: Vertex, e: Edge) -> Option<Weight> {
+        let i = self.source_index(s)?;
+        if !self.trees[i].is_reachable(t) {
+            return Some(INFINITE_WEIGHT);
+        }
+        Some(self.distances[i].distance_avoiding(&self.trees[i], t, e))
+    }
+
+    /// The canonical (Dijkstra-tree) shortest path from `s` to `t`, if both exist.
+    pub fn canonical_path(&self, s: Vertex, t: Vertex) -> Option<Vec<Vertex>> {
+        let i = self.source_index(s)?;
+        self.trees[i].path_from_source(t)
+    }
+
+    /// Total number of `(s, t, e)` entries stored.
+    pub fn entry_count(&self) -> usize {
+        self.distances.iter().map(|d| d.entry_count()).sum()
+    }
+}
+
+/// Builds one [`WeightedReplacementOracle`] per shard, in parallel (one scoped worker per
+/// shard over the caller's frozen weighted view) — the weighted mirror of
+/// [`build_shards_csr`], consumed by `msrp-serve`'s `WeightedShardedOracle`.
+///
+/// `threads == 0` is treated as 1 (built inline); thread counts above σ are clamped to σ.
+///
+/// # Panics
+///
+/// Panics on the inputs [`WeightedReplacementOracle::build`] rejects, and if a worker
+/// thread panics.
+pub fn build_weighted_shards(
+    g: &WeightedCsrGraph,
+    sources: &[Vertex],
+    threads: usize,
+) -> Vec<WeightedReplacementOracle> {
+    let threads = threads.max(1).min(sources.len().max(1));
+    if threads == 1 {
+        return vec![WeightedReplacementOracle::build(g, sources)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shard_sources(sources, threads)
+            .into_iter()
+            .map(|chunk| scope.spawn(move || WeightedReplacementOracle::build(g, chunk)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("oracle shard worker panicked")).collect()
+    })
+}
+
 // The serving layer (`msrp-serve`) shares immutable oracles across worker threads; these
 // compile-time assertions make sure a future refactor cannot silently lose thread-safety
 // (e.g. by introducing `Rc` or interior mutability into the oracle or its substrates).
@@ -349,6 +545,7 @@ const fn assert_send_sync<T: Send + Sync>() {}
 const _: () = {
     assert_send_sync::<ReplacementPathOracle>();
     assert_send_sync::<FlatReplacementOracle>();
+    assert_send_sync::<WeightedReplacementOracle>();
 };
 
 #[cfg(test)]
@@ -516,5 +713,117 @@ mod tests {
         let g = cycle_graph(7);
         let oracle = ReplacementPathOracle::build_exact(&g, &[2]);
         assert_eq!(oracle.canonical_path(2, 4), Some(vec![2, 3, 4]));
+    }
+
+    #[test]
+    fn vertex_count_is_exposed_for_boundary_validation() {
+        let g = cycle_graph(9);
+        let oracle = ReplacementPathOracle::build_exact(&g, &[0, 4]);
+        assert_eq!(oracle.vertex_count(), 9);
+    }
+
+    #[test]
+    fn flat_oracle_membership_is_probe_based_not_a_scan() {
+        // Build with a large, deliberately scrambled source set: every query must resolve
+        // source membership through the cuckoo set (worst-case O(1) probes, Lemma 5), and
+        // the answers must stay identical to the structured oracle's.
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = connected_gnm(40, 100, &mut rng).unwrap();
+        let sources: Vec<usize> = vec![31, 2, 17, 39, 8, 25, 0, 12, 36, 5, 21, 29];
+        let oracle = ReplacementPathOracle::build_exact(&g, &sources);
+        let flat = oracle.flatten();
+        for &s in &sources {
+            for t in (0..40).step_by(7) {
+                for e in g.edges().take(20) {
+                    assert_eq!(flat.query(s, t, e), oracle.replacement_distance(s, t, e));
+                }
+            }
+        }
+        // Non-sources (including ids far outside the graph) answer None without scanning.
+        for s in [1usize, 3, 38, 40, 10_000, usize::MAX] {
+            assert_eq!(flat.query(s, 0, Edge::new(0, 1)), None, "s={s}");
+        }
+        // A valid source with an absurd target reports "no path", never a truncated hit.
+        assert_eq!(flat.query(31, usize::MAX, Edge::new(0, 1)), Some(INFINITE_DISTANCE));
+        // A hostile >u32 edge endpoint must not truncation-alias a real edge's key:
+        // {0, 2^32 + 5} shares its `(lo << 32) | hi` key with {1, 5}. The hostile edge is
+        // not in the graph, so the answer must be the fault-free base distance even where
+        // the aliased real edge lies on the canonical path.
+        for &s in &sources {
+            for t in 0..40 {
+                let hostile = Edge::new(0, (1usize << 32) + 5);
+                assert_eq!(hostile.as_key(), Edge::new(1, 5).as_key(), "aliasing premise");
+                assert_eq!(
+                    flat.query(s, t, hostile),
+                    oracle.distance(s, t).or(Some(INFINITE_DISTANCE)),
+                    "s={s} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_oracle_solver_and_brute_force_agree() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g =
+            msrp_graph::generators::weighted_connected_gnm(28, 64, 500, &mut rng).unwrap().freeze();
+        let sources = [0usize, 9, 17];
+        let fast = WeightedReplacementOracle::build(&g, &sources);
+        let exact = WeightedReplacementOracle::build_exact(&g, &sources);
+        assert_eq!(fast.entry_count(), exact.entry_count());
+        assert_eq!(fast.vertex_count(), 28);
+        for &s in &sources {
+            for t in 0..28 {
+                assert_eq!(fast.distance(s, t), exact.distance(s, t));
+                for (e, _) in g.edge_vec() {
+                    assert_eq!(
+                        fast.replacement_distance(s, t, e),
+                        exact.replacement_distance(s, t, e),
+                        "s={s} t={t} e={e}"
+                    );
+                }
+            }
+        }
+        assert_eq!(fast.replacement_distance(3, 5, Edge::new(0, 1)), None);
+        assert_eq!(fast.sources(), &sources);
+        assert!(fast.canonical_path(0, 9).is_some());
+    }
+
+    #[test]
+    fn weighted_shards_merge_and_agree() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g =
+            msrp_graph::generators::weighted_connected_gnm(24, 60, 50, &mut rng).unwrap().freeze();
+        let sources = [4usize, 1, 7, 19, 11];
+        let whole = WeightedReplacementOracle::build(&g, &sources);
+        for threads in [0usize, 1, 2, 5, 16] {
+            let shards = build_weighted_shards(&g, &sources, threads);
+            let merged = WeightedReplacementOracle::from_shards(shards);
+            assert_eq!(merged.sources(), &sources);
+            for &s in &sources {
+                for t in 0..24 {
+                    for (e, _) in g.edge_vec() {
+                        assert_eq!(
+                            merged.replacement_distance(s, t, e),
+                            whole.replacement_distance(s, t, e),
+                            "threads={threads} s={s} t={t} e={e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_weighted_shards_panic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g =
+            msrp_graph::generators::weighted_connected_gnm(8, 12, 9, &mut rng).unwrap().freeze();
+        let shards = vec![
+            WeightedReplacementOracle::build_exact(&g, &[0, 2]),
+            WeightedReplacementOracle::build_exact(&g, &[2]),
+        ];
+        let _ = WeightedReplacementOracle::from_shards(shards);
     }
 }

@@ -35,6 +35,7 @@ mod distances;
 mod most_vital;
 mod single_pair;
 mod ssrp_baseline;
+mod weighted;
 
 pub use brute_force::{
     replacement_distance, single_source_brute_force, single_source_brute_force_csr,
@@ -47,3 +48,7 @@ pub use most_vital::{
 };
 pub use single_pair::single_pair_replacement_paths;
 pub use ssrp_baseline::{single_source_via_single_pair, single_source_via_single_pair_csr};
+pub use weighted::{
+    replacement_weight, single_source_brute_force_weighted, single_source_brute_force_weighted_csr,
+    WeightedReplacementDistances,
+};

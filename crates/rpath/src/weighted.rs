@@ -1,0 +1,295 @@
+//! Weighted replacement-path ground truth: remove the edge, rerun Dijkstra.
+//!
+//! The weighted mirror of [`brute_force`](crate::brute_force) and
+//! [`distances`](crate::distances): [`WeightedReplacementDistances`] stores per-target rows
+//! indexed by the position of the avoided edge on the canonical (Dijkstra-tree) path, and
+//! [`single_source_brute_force_weighted`] fills them with one edge-avoiding Dijkstra per
+//! tree edge. Everything the weighted solver in `msrp-core` produces is validated against
+//! these routines bit-for-bit.
+
+use msrp_graph::{
+    DijkstraScratch, Edge, Vertex, Weight, WeightedCsrGraph, WeightedTree, INFINITE_WEIGHT,
+};
+
+/// Weighted replacement distances from a single source to every target, indexed by the
+/// position of the avoided edge on the canonical Dijkstra-tree path.
+///
+/// For a target `t` at hop depth `k` in the source's tree, `row(t)` has length `k`; its
+/// `i`-th entry is `|st ⋄ e_i|` under the weighted metric (`INFINITE_WEIGHT` when removing
+/// that edge disconnects `t`). Unreachable targets and the source itself have empty rows.
+/// This is the weighted twin of
+/// [`SourceReplacementDistances`](crate::SourceReplacementDistances) — the only structural
+/// difference is that row lengths follow hop *depth*, which is no longer equal to distance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedReplacementDistances {
+    source: Vertex,
+    base: Vec<Weight>,
+    per_target: Vec<Vec<Weight>>,
+}
+
+impl WeightedReplacementDistances {
+    /// Creates a table with every entry initialised to `INFINITE_WEIGHT`, sized according to
+    /// the canonical tree `tree` (which must be rooted at the source).
+    pub fn new(tree: &WeightedTree) -> Self {
+        let n = tree.vertex_count();
+        let mut per_target = Vec::with_capacity(n);
+        for t in 0..n {
+            per_target.push(vec![INFINITE_WEIGHT; tree.depth(t)]);
+        }
+        WeightedReplacementDistances {
+            source: tree.source(),
+            base: tree.distances().to_vec(),
+            per_target,
+        }
+    }
+
+    /// The source vertex.
+    pub fn source(&self) -> Vertex {
+        self.source
+    }
+
+    /// Number of vertices in the underlying graph.
+    pub fn vertex_count(&self) -> usize {
+        self.per_target.len()
+    }
+
+    /// The ordinary (no-failure) weighted distance to `t`, if `t` is reachable.
+    pub fn base_distance(&self, t: Vertex) -> Option<Weight> {
+        let d = self.base[t];
+        if d == INFINITE_WEIGHT {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// The replacement distance avoiding the `i`-th edge of the canonical path to `t`.
+    ///
+    /// Returns `None` when `i` is out of range for `t` (including unreachable targets);
+    /// returns `Some(INFINITE_WEIGHT)` when the entry exists but no replacement path does.
+    pub fn get(&self, t: Vertex, i: usize) -> Option<Weight> {
+        self.per_target.get(t)?.get(i).copied()
+    }
+
+    /// The row of replacement distances for target `t` (may be empty).
+    pub fn row(&self, t: Vertex) -> &[Weight] {
+        &self.per_target[t]
+    }
+
+    /// Sets the entry for `(t, i)` unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range for `t`.
+    pub fn set(&mut self, t: Vertex, i: usize, d: Weight) {
+        self.per_target[t][i] = d;
+    }
+
+    /// Lowers the entry for `(t, i)` to `d` if `d` is smaller; returns whether it changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range for `t`.
+    pub fn relax(&mut self, t: Vertex, i: usize, d: Weight) -> bool {
+        if d < self.per_target[t][i] {
+            self.per_target[t][i] = d;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Replacement distance for an arbitrary edge: the stored entry when `e` lies on the
+    /// canonical path to `t`, the ordinary distance otherwise (the failure then cannot
+    /// affect the canonical path). The query the weighted oracle exposes.
+    pub fn distance_avoiding(&self, tree: &WeightedTree, t: Vertex, e: Edge) -> Weight {
+        match tree.edge_position_on_path(t, e) {
+            Some(i) => self.per_target[t][i],
+            None => self.base[t],
+        }
+    }
+
+    /// Total number of `(target, edge)` entries stored.
+    pub fn entry_count(&self) -> usize {
+        self.per_target.iter().map(|r| r.len()).sum()
+    }
+
+    /// Number of entries that are still `INFINITE_WEIGHT`.
+    pub fn infinite_entry_count(&self) -> usize {
+        self.per_target.iter().map(|r| r.iter().filter(|&&d| d == INFINITE_WEIGHT).count()).sum()
+    }
+
+    /// Iterates over `(target, edge_index, distance)` for every stored entry.
+    pub fn iter(&self) -> impl Iterator<Item = (Vertex, usize, Weight)> + '_ {
+        self.per_target
+            .iter()
+            .enumerate()
+            .flat_map(|(t, row)| row.iter().enumerate().map(move |(i, &d)| (t, i, d)))
+    }
+}
+
+/// The weighted replacement distance `|st ⋄ e|` computed by a single Dijkstra in `G \ {e}`.
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is out of range.
+pub fn replacement_weight(g: &WeightedCsrGraph, s: Vertex, t: Vertex, e: Edge) -> Weight {
+    g.dijkstra_avoiding_edge(s, e).dist[t]
+}
+
+/// Ground-truth weighted single-source replacement paths: one edge-avoiding Dijkstra per
+/// tree edge, distributed to every target whose canonical path uses that edge (the weighted
+/// twin of [`single_source_brute_force_csr`](crate::single_source_brute_force_csr);
+/// allocates one private scratch).
+///
+/// # Panics
+///
+/// Panics if `tree` is not rooted at a vertex of `g`.
+pub fn single_source_brute_force_weighted_csr(
+    g: &WeightedCsrGraph,
+    tree: &WeightedTree,
+) -> WeightedReplacementDistances {
+    let mut scratch = DijkstraScratch::new();
+    single_source_brute_force_weighted(g, tree, &mut scratch)
+}
+
+/// The weighted brute-force inner loop, running every edge-avoiding Dijkstra through the
+/// caller's [`DijkstraScratch`] (what `msrp-oracle::WeightedReplacementOracle::build_exact`
+/// runs per source).
+///
+/// # Panics
+///
+/// Panics if `tree` is not rooted at a vertex of `g`.
+pub fn single_source_brute_force_weighted(
+    g: &WeightedCsrGraph,
+    tree: &WeightedTree,
+    scratch: &mut DijkstraScratch,
+) -> WeightedReplacementDistances {
+    let n = g.vertex_count();
+    let s = tree.source();
+    assert!(s < n, "tree root out of range for the graph");
+    let mut out = WeightedReplacementDistances::new(tree);
+    // Every edge on some canonical path is a tree edge (p, c); its position on the path to
+    // any affected target is depth(c) - 1, and the affected targets are exactly the
+    // descendants of c.
+    for c in 0..n {
+        let p = match tree.parent(c) {
+            Some(p) => p,
+            None => continue,
+        };
+        let e = Edge::new(p, c);
+        let pos = tree.depth(c) - 1;
+        scratch.run_avoiding(g, s, e);
+        for (t, &d) in scratch.dist().iter().enumerate() {
+            if tree.is_reachable(t) && tree.is_ancestor(c, t) {
+                out.set(t, pos, d);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrp_graph::generators::cycle_graph;
+    use msrp_graph::WeightedGraph;
+
+    /// A weighted 6-cycle with per-edge weights 1..=6 (edge {i, i+1} has weight i + 1).
+    fn weighted_cycle() -> WeightedGraph {
+        let mut g = WeightedGraph::new(6);
+        for i in 0..6 {
+            g.add_edge(i, (i + 1) % 6, (i + 1) as Weight).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn cycle_replacements_take_the_complementary_arc() {
+        let g = weighted_cycle().freeze();
+        let tree = WeightedTree::build(&g, 0);
+        let out = single_source_brute_force_weighted_csr(&g, &tree);
+        // d(0, 2) = 1 + 2 = 3 via 0-1-2; avoiding either path edge forces the arc
+        // 0-5-4-3-2 of weight 6 + 5 + 4 + 3 = 18.
+        assert_eq!(tree.distance(2), Some(3));
+        assert_eq!(out.get(2, 0), Some(18));
+        assert_eq!(out.get(2, 1), Some(18));
+        assert_eq!(out.get(2, 2), None);
+        // The same values fall out of the one-shot helper.
+        assert_eq!(replacement_weight(&g, 0, 2, Edge::new(0, 1)), 18);
+        assert_eq!(replacement_weight(&g, 0, 2, Edge::new(3, 4)), 3);
+    }
+
+    #[test]
+    fn bridges_have_no_weighted_replacement() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 2).unwrap();
+        g.add_edge(1, 2, 3).unwrap();
+        g.add_edge(2, 3, 4).unwrap();
+        let csr = g.freeze();
+        let tree = WeightedTree::build(&csr, 0);
+        let out = single_source_brute_force_weighted_csr(&csr, &tree);
+        for t in 1..4 {
+            for i in 0..out.row(t).len() {
+                assert_eq!(out.get(t, i), Some(INFINITE_WEIGHT));
+            }
+        }
+        assert_eq!(out.infinite_entry_count(), out.entry_count());
+        assert_eq!(out.entry_count(), 1 + 2 + 3);
+    }
+
+    #[test]
+    fn distance_avoiding_matches_per_query_recomputation() {
+        let g = weighted_cycle().freeze();
+        let tree = WeightedTree::build(&g, 0);
+        let out = single_source_brute_force_weighted_csr(&g, &tree);
+        for t in 0..6 {
+            for (e, _) in g.edge_vec() {
+                assert_eq!(
+                    out.distance_avoiding(&tree, t, e),
+                    replacement_weight(&g, 0, t, e),
+                    "t={t} e={e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unit_weights_agree_with_the_unweighted_brute_force() {
+        let topo = cycle_graph(8);
+        let weighted = WeightedGraph::from_graph(&topo, |_| 1).freeze();
+        let wtree = WeightedTree::build(&weighted, 0);
+        let wout = single_source_brute_force_weighted_csr(&weighted, &wtree);
+        let utree = msrp_graph::ShortestPathTree::build(&topo, 0);
+        let uout = crate::single_source_brute_force(&topo, &utree);
+        for t in 0..8 {
+            assert_eq!(wout.row(t).len(), uout.row(t).len(), "t={t}");
+            for i in 0..wout.row(t).len() {
+                let w = wout.get(t, i).unwrap();
+                let u = uout.get(t, i).unwrap();
+                if u == msrp_graph::INFINITE_DISTANCE {
+                    assert_eq!(w, INFINITE_WEIGHT);
+                } else {
+                    assert_eq!(w, u as Weight, "t={t} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_accessors_and_relaxation() {
+        let g = weighted_cycle().freeze();
+        let tree = WeightedTree::build(&g, 0);
+        let mut d = WeightedReplacementDistances::new(&tree);
+        assert_eq!(d.source(), 0);
+        assert_eq!(d.vertex_count(), 6);
+        assert_eq!(d.base_distance(2), Some(3));
+        assert_eq!(d.get(2, 0), Some(INFINITE_WEIGHT));
+        d.set(2, 0, 20);
+        assert!(d.relax(2, 0, 18));
+        assert!(!d.relax(2, 0, 19));
+        assert_eq!(d.get(2, 0), Some(18));
+        assert_eq!(d.get(2, 9), None);
+        assert_eq!(d.iter().count(), d.entry_count());
+    }
+}

@@ -95,6 +95,35 @@ pub fn format_query(q: &Query) -> String {
     format!("Q {} {} {u} {v}", q.source, q.target)
 }
 
+/// Validates a parsed query's vertex ids against the served graph.
+///
+/// [`parse_request`] checks the *grammar* of a line; this checks its *semantics*: every id
+/// must name a vertex of the graph behind the service. The TCP front end calls it before a
+/// query is ever enqueued and turns the error into an `ERR` reply line — the fix for the
+/// remotely-triggerable worker panic where `Q 0 999999999 0 1` reached the shortest-path
+/// tree's unchecked `dist[t]` indexing (the sharded oracles additionally treat such ids as
+/// unroutable, as defense in depth).
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] naming the first out-of-range id.
+pub fn validate_query(q: &Query, vertex_count: usize) -> Result<(), ProtocolError> {
+    let check = |what: &str, v: usize| {
+        if v >= vertex_count {
+            Err(ProtocolError::new(format!(
+                "{what} {v} out of range (graph has {vertex_count} vertices)"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    check("source vertex", q.source)?;
+    check("target vertex", q.target)?;
+    let (u, v) = q.avoid.endpoints();
+    check("edge endpoint", u)?;
+    check("edge endpoint", v)
+}
+
 /// Renders one answer token: `NOSRC`, `INF`, or the decimal distance.
 pub fn format_answer(answer: Option<Distance>) -> String {
     match answer {
@@ -153,5 +182,23 @@ mod tests {
     fn errors_display_their_message() {
         let err = parse_request("FLY").unwrap_err();
         assert!(err.to_string().contains("unknown verb"));
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_ids() {
+        let n = 10;
+        assert!(validate_query(&Query::new(0, 9, Edge::new(3, 4)), n).is_ok());
+        for (q, what) in [
+            (Query::new(10, 0, Edge::new(0, 1)), "source"),
+            (Query::new(0, 999_999_999, Edge::new(0, 1)), "target"),
+            (Query::new(0, 1, Edge::new(2, 10)), "endpoint"),
+            (Query::new(0, 1, Edge::new(usize::MAX - 1, usize::MAX)), "endpoint"),
+        ] {
+            let err = validate_query(&q, n).unwrap_err();
+            assert!(err.to_string().contains(what), "{q:?}: {err}");
+            assert!(err.to_string().contains("out of range"), "{q:?}: {err}");
+        }
+        // The empty graph rejects everything.
+        assert!(validate_query(&Query::new(0, 0, Edge::new(0, 1)), 0).is_err());
     }
 }

@@ -1,4 +1,19 @@
-//! The sharded oracle and the worker-pool query service built on top of it.
+//! The sharded oracles (unweighted and weighted) and the worker-pool query service built on
+//! top of them.
+//!
+//! The service is generic over a [`RouteOracle`]: the worker pool, queueing, metrics and
+//! batch semantics are written once and serve both the hop-metric [`ShardedOracle`] and the
+//! weighted [`WeightedShardedOracle`] (whose answers are [`Weight`]s instead of
+//! [`Distance`]s). `QueryService` defaults its oracle parameter to `ShardedOracle`, so
+//! existing unweighted callers are unaffected.
+//!
+//! # Untrusted ids
+//!
+//! Queries reaching a service may come straight off a socket. Both sharded oracles treat
+//! out-of-range `target`/edge ids as *unroutable* (`(None, None)`) instead of letting them
+//! reach the panicking deep-layer accessors — a malformed `Q` line must never kill a worker
+//! thread (the TCP front end additionally rejects such lines with an `ERR` reply before
+//! they are ever enqueued; see [`protocol::validate_query`](crate::protocol::validate_query)).
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -6,8 +21,11 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use msrp_core::MsrpParams;
-use msrp_graph::{CsrGraph, Distance, Edge, Graph, Vertex};
-use msrp_oracle::{build_shards, build_shards_csr, ReplacementPathOracle};
+use msrp_graph::{CsrGraph, Distance, Edge, Graph, Vertex, Weight, WeightedCsrGraph};
+use msrp_oracle::{
+    build_shards, build_shards_csr, build_weighted_shards, ReplacementPathOracle,
+    WeightedReplacementOracle,
+};
 
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 
@@ -27,6 +45,45 @@ impl Query {
     pub fn new(source: Vertex, target: Vertex, avoid: Edge) -> Self {
         Query { source, target, avoid }
     }
+}
+
+/// The oracle interface the worker pool serves from: shard-routed, immutable, and safe
+/// under arbitrary (including out-of-range) query ids.
+///
+/// Implementations answer with their own distance type — `Distance` for the hop metric,
+/// [`Weight`] for the weighted metric — and must *never panic* on a hostile [`Query`]:
+/// out-of-range ids are reported as unroutable, which is what keeps a serving worker alive
+/// when a malformed line slips past the protocol boundary.
+pub trait RouteOracle: Send + Sync + 'static {
+    /// The distance type answers are reported in.
+    type Answer: Copy + Send + std::fmt::Debug + 'static;
+
+    /// Number of shards (sizes the per-shard metrics counters).
+    fn shard_count(&self) -> usize;
+
+    /// Number of vertices of the underlying graph (the bound protocol-level validation
+    /// checks ids against).
+    fn vertex_count(&self) -> usize;
+
+    /// Answers one query and reports the shard it was routed to (`None, None` when the
+    /// source is unroutable or any id is out of range).
+    fn query_routed(&self, q: Query) -> (Option<usize>, Option<Self::Answer>);
+}
+
+/// `(source, shard index)` pairs sorted by source: the binary-search routing table shared
+/// by both sharded oracles.
+fn build_route<'a, S: Iterator<Item = &'a [Vertex]>>(shard_sources: S) -> Vec<(Vertex, usize)> {
+    let mut route = Vec::new();
+    for (i, sources) in shard_sources.enumerate() {
+        route.extend(sources.iter().map(|&s| (s, i)));
+    }
+    route.sort_unstable();
+    assert!(route.windows(2).all(|w| w[0].0 != w[1].0), "shards must cover disjoint sources");
+    route
+}
+
+fn route_lookup(route: &[(Vertex, usize)], source: Vertex) -> Option<usize> {
+    route.binary_search_by_key(&source, |&(s, _)| s).ok().map(|i| route[i].1)
 }
 
 /// Immutable oracle shards plus a source → shard routing table.
@@ -77,18 +134,18 @@ impl ShardedOracle {
     /// Panics if `shards` is empty or two shards share a source.
     pub fn from_shards(shards: Vec<ReplacementPathOracle>) -> Self {
         assert!(!shards.is_empty(), "at least one shard is required");
-        let mut route = Vec::new();
-        for (i, shard) in shards.iter().enumerate() {
-            route.extend(shard.sources().iter().map(|&s| (s, i)));
-        }
-        route.sort_unstable();
-        assert!(route.windows(2).all(|w| w[0].0 != w[1].0), "shards must cover disjoint sources");
+        let route = build_route(shards.iter().map(|s| s.sources()));
         ShardedOracle { shards, route }
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Number of vertices of the underlying graph (every shard sees the same graph).
+    pub fn vertex_count(&self) -> usize {
+        self.shards[0].vertex_count()
     }
 
     /// All sources, in ascending order.
@@ -98,7 +155,7 @@ impl ShardedOracle {
 
     /// Index of the shard owning `source`, or `None` when no shard covers it.
     pub fn shard_for(&self, source: Vertex) -> Option<usize> {
-        self.route.binary_search_by_key(&source, |&(s, _)| s).ok().map(|i| self.route[i].1)
+        route_lookup(&self.route, source)
     }
 
     /// Answers one query by routing it to its shard (`None` when the source is unroutable;
@@ -109,7 +166,15 @@ impl ShardedOracle {
 
     /// Like [`query`](Self::query), but also reports which shard the query was routed to —
     /// one routing lookup serves both the answer and the per-shard accounting.
+    ///
+    /// A query whose `target` or avoided-edge endpoints are out of range for the graph is
+    /// reported as unroutable (`(None, None)`) instead of reaching the oracle's panicking
+    /// array accesses: this is the line that keeps a worker thread alive when a hostile
+    /// `Q 0 999999999 0 1` arrives over the wire (the regression in `examples/serve_tcp.rs`).
     pub fn query_routed(&self, q: Query) -> (Option<usize>, Option<Distance>) {
+        if !query_ids_in_range(&q, self.vertex_count()) {
+            return (None, None);
+        }
         match self.shard_for(q.source) {
             Some(shard) => {
                 (Some(shard), self.shards[shard].replacement_distance(q.source, q.target, q.avoid))
@@ -131,6 +196,134 @@ impl ShardedOracle {
     }
 }
 
+/// `true` when every id the oracle will index with is in range. The *source* needs no check:
+/// routing is a table lookup, and an out-of-range source is simply not in the table.
+fn query_ids_in_range(q: &Query, vertex_count: usize) -> bool {
+    // Edge endpoints are normalized (lo < hi), so checking hi covers both.
+    q.target < vertex_count && q.avoid.hi() < vertex_count
+}
+
+impl RouteOracle for ShardedOracle {
+    type Answer = Distance;
+
+    fn shard_count(&self) -> usize {
+        ShardedOracle::shard_count(self)
+    }
+
+    fn vertex_count(&self) -> usize {
+        ShardedOracle::vertex_count(self)
+    }
+
+    fn query_routed(&self, q: Query) -> (Option<usize>, Option<Distance>) {
+        ShardedOracle::query_routed(self, q)
+    }
+}
+
+/// Immutable *weighted* oracle shards plus the same source → shard routing table: the
+/// weighted mirror of [`ShardedOracle`], answering in [`Weight`]s from Dijkstra trees.
+#[derive(Clone, Debug)]
+pub struct WeightedShardedOracle {
+    shards: Vec<WeightedReplacementOracle>,
+    route: Vec<(Vertex, usize)>,
+}
+
+impl WeightedShardedOracle {
+    /// Builds `shard_count` weighted shards in parallel (one construction worker per shard,
+    /// all traversing the caller's frozen weighted view) and wires up the routing table.
+    /// `shard_count` is clamped to `[1, σ]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the inputs [`WeightedReplacementOracle::build`] rejects (empty, duplicate,
+    /// or out-of-range sources) and if a construction worker panics.
+    pub fn build(g: &WeightedCsrGraph, sources: &[Vertex], shard_count: usize) -> Self {
+        Self::from_shards(build_weighted_shards(g, sources, shard_count))
+    }
+
+    /// Wraps pre-built weighted shards (which must cover disjoint source sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty or two shards share a source.
+    pub fn from_shards(shards: Vec<WeightedReplacementOracle>) -> Self {
+        assert!(!shards.is_empty(), "at least one shard is required");
+        let route = build_route(shards.iter().map(|s| s.sources()));
+        WeightedShardedOracle { shards, route }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of vertices of the underlying graph.
+    pub fn vertex_count(&self) -> usize {
+        self.shards[0].vertex_count()
+    }
+
+    /// All sources, in ascending order.
+    pub fn sources(&self) -> Vec<Vertex> {
+        self.route.iter().map(|&(s, _)| s).collect()
+    }
+
+    /// Index of the shard owning `source`, or `None` when no shard covers it.
+    pub fn shard_for(&self, source: Vertex) -> Option<usize> {
+        route_lookup(&self.route, source)
+    }
+
+    /// Answers one query by routing it to its shard (`None` when the source is unroutable;
+    /// `Some(INFINITE_WEIGHT)` when the failure disconnects the target).
+    pub fn query(&self, q: Query) -> Option<Weight> {
+        self.query_routed(q).1
+    }
+
+    /// Like [`query`](Self::query), but also reports the shard. Out-of-range ids are
+    /// unroutable, never a panic — same hostile-input contract as
+    /// [`ShardedOracle::query_routed`].
+    pub fn query_routed(&self, q: Query) -> (Option<usize>, Option<Weight>) {
+        if !query_ids_in_range(&q, self.vertex_count()) {
+            return (None, None);
+        }
+        match self.shard_for(q.source) {
+            Some(shard) => {
+                (Some(shard), self.shards[shard].replacement_distance(q.source, q.target, q.avoid))
+            }
+            None => (None, None),
+        }
+    }
+
+    /// Fault-free weighted distance from `source` to `target` (`None` when `source` is
+    /// unroutable or `target` unreachable or out of range).
+    pub fn distance(&self, source: Vertex, target: Vertex) -> Option<Weight> {
+        if target >= self.vertex_count() {
+            return None;
+        }
+        let shard = self.shard_for(source)?;
+        self.shards[shard].distance(source, target)
+    }
+
+    /// Merges the shards back into a single weighted oracle (consumes the sharded view).
+    pub fn into_merged(self) -> WeightedReplacementOracle {
+        WeightedReplacementOracle::from_shards(self.shards)
+    }
+}
+
+impl RouteOracle for WeightedShardedOracle {
+    type Answer = Weight;
+
+    fn shard_count(&self) -> usize {
+        WeightedShardedOracle::shard_count(self)
+    }
+
+    fn vertex_count(&self) -> usize {
+        WeightedShardedOracle::vertex_count(self)
+    }
+
+    fn query_routed(&self, q: Query) -> (Option<usize>, Option<Weight>) {
+        WeightedShardedOracle::query_routed(self, q)
+    }
+}
+
 /// Configuration of a [`QueryService`].
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -145,24 +338,26 @@ impl Default for ServiceConfig {
 }
 
 /// A batch submitted to the service together with the channel its answers travel back on.
-struct Job {
+struct Job<A> {
     queries: Vec<Query>,
-    reply: Sender<Vec<Option<Distance>>>,
+    reply: Sender<Vec<Option<A>>>,
 }
 
-/// A handle to a batch in flight; redeem it with [`wait`](PendingBatch::wait).
+/// A handle to a batch in flight; redeem it with [`wait`](PendingBatch::wait). The answer
+/// type defaults to the unweighted [`Distance`]; a weighted service hands out
+/// `PendingBatch<Weight>`.
 #[must_use = "a pending batch does nothing until waited on"]
-pub struct PendingBatch {
-    reply: Receiver<Vec<Option<Distance>>>,
+pub struct PendingBatch<A = Distance> {
+    reply: Receiver<Vec<Option<A>>>,
 }
 
-impl PendingBatch {
+impl<A> PendingBatch<A> {
     /// Blocks until the batch's answers arrive (in submission order).
     ///
     /// # Panics
     ///
     /// Panics if the worker processing the batch died (a worker panic).
-    pub fn wait(self) -> Vec<Option<Distance>> {
+    pub fn wait(self) -> Vec<Option<A>> {
         self.reply.recv().expect("service worker dropped a batch reply")
     }
 }
@@ -178,21 +373,25 @@ impl PendingBatch {
 ///
 /// Dropping the service (or calling [`shutdown`](QueryService::shutdown)) closes the queue and
 /// joins every worker; batches already queued are drained first.
+///
+/// The service is generic over its [`RouteOracle`] and defaults to the unweighted
+/// [`ShardedOracle`]; `QueryService<WeightedShardedOracle>` serves the weighted metric with
+/// the identical pool, queue, metrics and ordering semantics.
 #[derive(Debug)]
-pub struct QueryService {
-    sender: Option<Sender<Job>>,
+pub struct QueryService<O: RouteOracle = ShardedOracle> {
+    sender: Option<Sender<Job<O::Answer>>>,
     workers: Vec<JoinHandle<()>>,
-    oracle: Arc<ShardedOracle>,
+    oracle: Arc<O>,
     metrics: Arc<ServiceMetrics>,
 }
 
-impl QueryService {
+impl<O: RouteOracle> QueryService<O> {
     /// Starts the worker pool over the given sharded oracle.
-    pub fn start(oracle: ShardedOracle, config: &ServiceConfig) -> Self {
+    pub fn start(oracle: O, config: &ServiceConfig) -> Self {
         let worker_count = config.workers.max(1);
         let oracle = Arc::new(oracle);
         let metrics = Arc::new(ServiceMetrics::new(oracle.shard_count(), worker_count));
-        let (sender, receiver) = channel::<Job>();
+        let (sender, receiver) = channel::<Job<O::Answer>>();
         let receiver = Arc::new(Mutex::new(receiver));
         let workers = (0..worker_count)
             .map(|worker_id| {
@@ -211,7 +410,7 @@ impl QueryService {
                         // would make the workers contend (see ServiceMetrics).
                         let mut shard_counts = vec![0u64; oracle.shard_count()];
                         let mut unroutable = 0u64;
-                        let answers: Vec<Option<Distance>> = job
+                        let answers: Vec<Option<O::Answer>> = job
                             .queries
                             .iter()
                             .map(|&q| {
@@ -234,31 +433,8 @@ impl QueryService {
         QueryService { sender: Some(sender), workers, oracle, metrics }
     }
 
-    /// Convenience constructor: builds the shards in parallel and starts the pool.
-    pub fn build_and_start(
-        g: &Graph,
-        sources: &[Vertex],
-        params: &MsrpParams,
-        shards: usize,
-        config: &ServiceConfig,
-    ) -> Self {
-        Self::start(ShardedOracle::build(g, sources, params, shards), config)
-    }
-
-    /// Convenience constructor over an already-frozen CSR view (the graph is shared across
-    /// every shard construction worker, never copied).
-    pub fn build_and_start_csr(
-        g: &CsrGraph,
-        sources: &[Vertex],
-        params: &MsrpParams,
-        shards: usize,
-        config: &ServiceConfig,
-    ) -> Self {
-        Self::start(ShardedOracle::build_csr(g, sources, params, shards), config)
-    }
-
     /// Enqueues a batch without waiting for it; pair with [`PendingBatch::wait`].
-    pub fn submit(&self, queries: &[Query]) -> PendingBatch {
+    pub fn submit(&self, queries: &[Query]) -> PendingBatch<O::Answer> {
         let (reply_tx, reply_rx) = channel();
         self.sender
             .as_ref()
@@ -269,13 +445,13 @@ impl QueryService {
     }
 
     /// Answers a batch synchronously: answers arrive in submission order, one per query
-    /// (`None` for unroutable sources, `Some(INFINITE_DISTANCE)` for disconnections).
-    pub fn answer_batch(&self, queries: &[Query]) -> Vec<Option<Distance>> {
+    /// (`None` for unroutable sources or out-of-range ids, `Some(∞)` for disconnections).
+    pub fn answer_batch(&self, queries: &[Query]) -> Vec<Option<O::Answer>> {
         self.submit(queries).wait()
     }
 
     /// The sharded oracle the service answers from.
-    pub fn oracle(&self) -> &ShardedOracle {
+    pub fn oracle(&self) -> &O {
         &self.oracle
     }
 
@@ -304,7 +480,45 @@ impl QueryService {
     }
 }
 
-impl Drop for QueryService {
+impl QueryService {
+    /// Convenience constructor: builds the shards in parallel and starts the pool.
+    pub fn build_and_start(
+        g: &Graph,
+        sources: &[Vertex],
+        params: &MsrpParams,
+        shards: usize,
+        config: &ServiceConfig,
+    ) -> Self {
+        Self::start(ShardedOracle::build(g, sources, params, shards), config)
+    }
+
+    /// Convenience constructor over an already-frozen CSR view (the graph is shared across
+    /// every shard construction worker, never copied).
+    pub fn build_and_start_csr(
+        g: &CsrGraph,
+        sources: &[Vertex],
+        params: &MsrpParams,
+        shards: usize,
+        config: &ServiceConfig,
+    ) -> Self {
+        Self::start(ShardedOracle::build_csr(g, sources, params, shards), config)
+    }
+}
+
+impl QueryService<WeightedShardedOracle> {
+    /// Convenience constructor for the weighted metric: builds the weighted shards in
+    /// parallel over the caller's frozen weighted view and starts the pool.
+    pub fn build_and_start_weighted(
+        g: &WeightedCsrGraph,
+        sources: &[Vertex],
+        shards: usize,
+        config: &ServiceConfig,
+    ) -> Self {
+        Self::start(WeightedShardedOracle::build(g, sources, shards), config)
+    }
+}
+
+impl<O: RouteOracle> Drop for QueryService<O> {
     fn drop(&mut self) {
         self.stop_workers();
     }
@@ -434,5 +648,97 @@ mod tests {
     fn empty_batches_are_legal() {
         let (_, service) = demo_service(2, 1);
         assert_eq!(service.answer_batch(&[]), Vec::<Option<Distance>>::new());
+    }
+
+    #[test]
+    fn out_of_range_queries_are_unroutable_not_panics() {
+        // The headline regression: `Q 0 999999999 0 1` used to reach the tree's unchecked
+        // `dist[t]` and panic the worker thread.
+        let (g, service) = demo_service(2, 2);
+        let n = g.vertex_count();
+        let hostile = [
+            Query::new(0, 999_999_999, Edge::new(0, 1)), // target out of range
+            Query::new(0, 3, Edge::new(0, n + 7)),       // edge endpoint out of range
+            Query::new(0, 3, Edge::new(usize::MAX - 1, usize::MAX)), // both endpoints hostile
+            Query::new(999_999_999, 3, Edge::new(0, 1)), // source out of range
+        ];
+        for q in hostile {
+            assert_eq!(service.oracle().query_routed(q), (None, None), "q={q:?}");
+        }
+        let answers = service.answer_batch(&hostile);
+        assert_eq!(answers, vec![None; hostile.len()]);
+        // The workers survived: a well-formed query still gets its exact answer.
+        let good = Query::new(0, 3, Edge::new(0, 1));
+        assert_eq!(service.answer_batch(&[good])[0], service.oracle().query(good));
+        let metrics = service.shutdown();
+        assert_eq!(metrics.unroutable_total, hostile.len() as u64);
+        assert_eq!(metrics.queries_total, hostile.len() as u64 + 1);
+    }
+
+    #[test]
+    fn vertex_count_is_exposed() {
+        let (g, service) = demo_service(1, 1);
+        assert_eq!(service.oracle().vertex_count(), g.vertex_count());
+    }
+
+    fn weighted_demo() -> (msrp_graph::WeightedCsrGraph, Vec<usize>) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(44);
+        let g =
+            msrp_graph::generators::weighted_connected_gnm(24, 60, 100, &mut rng).unwrap().freeze();
+        (g, vec![0, 8, 16])
+    }
+
+    #[test]
+    fn weighted_service_answers_match_the_weighted_oracle() {
+        let (g, sources) = weighted_demo();
+        let reference = msrp_oracle::WeightedReplacementOracle::build(&g, &sources);
+        let service =
+            QueryService::build_and_start_weighted(&g, &sources, 2, &ServiceConfig { workers: 3 });
+        let edges = g.edge_vec();
+        let queries: Vec<Query> = sources
+            .iter()
+            .flat_map(|&s| {
+                edges.iter().enumerate().map(move |(i, &(e, _))| Query::new(s, i % 24, e))
+            })
+            .collect();
+        let answers = service.answer_batch(&queries);
+        for (q, a) in queries.iter().zip(&answers) {
+            assert_eq!(*a, reference.replacement_distance(q.source, q.target, q.avoid), "q={q:?}");
+        }
+        // Unroutable and hostile queries behave exactly like the unweighted service.
+        let hostile = Query::new(0, usize::MAX, Edge::new(0, 1));
+        assert_eq!(service.oracle().query_routed(hostile), (None, None));
+        assert_eq!(service.answer_batch(&[Query::new(3, 0, edges[0].0)]), vec![None]);
+        let metrics = service.shutdown();
+        assert_eq!(metrics.queries_total, queries.len() as u64 + 1);
+    }
+
+    #[test]
+    fn weighted_sharded_oracle_routes_and_merges() {
+        let (g, sources) = weighted_demo();
+        let oracle = WeightedShardedOracle::build(&g, &sources, 3);
+        assert_eq!(oracle.shard_count(), 3);
+        assert_eq!(oracle.sources(), sources);
+        assert_eq!(oracle.vertex_count(), 24);
+        assert_eq!(oracle.shard_for(8), Some(1));
+        assert_eq!(oracle.shard_for(9), None);
+        assert_eq!(oracle.distance(99, 0), None);
+        assert_eq!(oracle.distance(0, usize::MAX), None);
+        let whole = msrp_oracle::WeightedReplacementOracle::build(&g, &sources);
+        for &s in &sources {
+            for t in 0..24 {
+                assert_eq!(oracle.distance(s, t), whole.distance(s, t));
+                for &(e, _) in g.edge_vec().iter().take(12) {
+                    assert_eq!(
+                        oracle.query(Query::new(s, t, e)),
+                        whole.replacement_distance(s, t, e)
+                    );
+                }
+            }
+        }
+        let merged = oracle.into_merged();
+        assert_eq!(merged.sources(), &sources[..]);
     }
 }

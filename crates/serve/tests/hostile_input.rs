@@ -1,0 +1,156 @@
+//! Hostile-protocol-input property suite: seed-pinned fuzz of `parse_request`,
+//! `validate_query`, and the service loop. The invariant under test is the headline bugfix
+//! of the weighted-MSRP PR — *no input a client can send may kill a serving worker*: every
+//! line either parses (and then either validates or is answered as unroutable) or is
+//! rejected with an error value; nothing panics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use msrp_core::MsrpParams;
+use msrp_graph::generators::{connected_gnm, weighted_connected_gnm};
+use msrp_graph::Edge;
+use msrp_serve::{
+    parse_request, validate_query, Query, QueryService, Request, ServiceConfig, ShardedOracle,
+};
+
+const N: usize = 48;
+const SOURCES: [usize; 3] = [0, 16, 32];
+
+fn service_under_test() -> QueryService {
+    let mut rng = StdRng::seed_from_u64(71);
+    let g = connected_gnm(N, 120, &mut rng).unwrap();
+    QueryService::start(
+        ShardedOracle::build(&g, &SOURCES, &MsrpParams::default(), 2),
+        &ServiceConfig { workers: 3 },
+    )
+}
+
+/// A seed-pinned stream of hostile lines: random verbs, wrong arities, giant and boundary
+/// numbers, non-numeric tokens, u == v edges, trailing garbage, and — deliberately often —
+/// a grammatically valid `Q` line whose ids may still be wildly out of range (the shape the
+/// headline bug was triggered by).
+fn hostile_line(rng: &mut StdRng) -> String {
+    let verb = match rng.gen_range(0..12usize) {
+        0..=5 => "Q",
+        6 => "B",
+        7 => "STATS",
+        8 => "QUIT",
+        9 => "q",
+        10 => "FLY",
+        _ => "",
+    };
+    let token = |rng: &mut StdRng| -> String {
+        match rng.gen_range(0..10usize) {
+            0..=4 => rng.gen_range(0..2 * N).to_string(),
+            5 => u64::MAX.to_string(),
+            6 => "999999999".to_string(),
+            7 => "-3".to_string(),
+            8 => "x9".to_string(),
+            _ => (N - 1).to_string(),
+        }
+    };
+    let arity = if rng.gen_range(0..2usize) == 0 { 4 } else { rng.gen_range(0..6usize) };
+    let mut line = verb.to_string();
+    for _ in 0..arity {
+        line.push(' ');
+        line.push_str(&token(rng));
+    }
+    line
+}
+
+#[test]
+fn fuzzed_lines_never_kill_a_worker() {
+    let service = service_under_test();
+    let reference = service.oracle().clone();
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let mut parsed_queries = 0usize;
+    let mut rejected_lines = 0usize;
+    let mut rejected_ids = 0usize;
+    let mut batch = Vec::new();
+    for _ in 0..4000 {
+        let line = hostile_line(&mut rng);
+        match parse_request(&line) {
+            Err(_) => rejected_lines += 1,
+            Ok(Request::Stats) | Ok(Request::Quit) | Ok(Request::Batch(_)) => {}
+            Ok(Request::Query(q)) => {
+                parsed_queries += 1;
+                if validate_query(&q, N).is_err() {
+                    rejected_ids += 1;
+                }
+                // Defense in depth: even UNvalidated queries go straight to the workers.
+                batch.push(q);
+            }
+        }
+        if batch.len() >= 64 {
+            let answers = service.answer_batch(&batch);
+            for (q, a) in batch.iter().zip(&answers) {
+                assert_eq!(*a, reference.query(*q), "q={q:?}");
+            }
+            batch.clear();
+        }
+    }
+    let answers = service.answer_batch(&batch);
+    assert_eq!(answers.len(), batch.len());
+    // The workload actually exercised all three rejection layers.
+    assert!(rejected_lines > 100, "rejected_lines = {rejected_lines}");
+    assert!(parsed_queries > 100, "parsed_queries = {parsed_queries}");
+    assert!(rejected_ids > 10, "rejected_ids = {rejected_ids}");
+    // Every worker is still alive and exact after the storm.
+    let good = Query::new(0, N - 1, Edge::new(0, 1));
+    for _ in 0..service.worker_count() * 2 {
+        assert_eq!(service.answer_batch(&[good])[0], reference.query(good));
+    }
+    let metrics = service.shutdown();
+    assert!(metrics.queries_total >= parsed_queries as u64);
+}
+
+#[test]
+fn boundary_queries_answer_without_panicking() {
+    let service = service_under_test();
+    // Exactly-at-the-boundary and far-out ids, in one batch.
+    let hostile = [
+        Query::new(0, N, Edge::new(0, 1)), // first out-of-range target
+        Query::new(0, N - 1, Edge::new(N - 1, N)), // first out-of-range endpoint
+        Query::new(N, 0, Edge::new(0, 1)), // out-of-range source
+        Query::new(0, usize::MAX, Edge::new(0, 1)),
+        Query::new(0, 0, Edge::new(usize::MAX - 1, usize::MAX)),
+    ];
+    assert_eq!(service.answer_batch(&hostile), vec![None; hostile.len()]);
+    // In-range but pointless (u == v is unrepresentable as an Edge, so the closest legal
+    // hostile shape is a non-existent edge) still answers exactly.
+    let absent_edge = Query::new(0, 5, Edge::new(0, N - 1));
+    let direct = service.oracle().query(absent_edge);
+    assert_eq!(service.answer_batch(&[absent_edge])[0], direct);
+    service.shutdown();
+}
+
+#[test]
+fn giant_batch_headers_parse_without_allocation() {
+    // `B <k>` is length-delimited; parsing the header must not allocate k of anything
+    // (the front end enforces its own MAX_BATCH before reserving). u64::MAX parses as a
+    // legal usize on 64-bit targets; anything larger is rejected as malformed.
+    assert_eq!(parse_request("B 18446744073709551615"), Ok(Request::Batch(usize::MAX)));
+    assert!(parse_request("B 18446744073709551616").is_err());
+    assert!(parse_request("B -1").is_err());
+}
+
+#[test]
+fn weighted_service_survives_the_same_hostility() {
+    let mut rng = StdRng::seed_from_u64(72);
+    let g = weighted_connected_gnm(N, 120, 1000, &mut rng).unwrap().freeze();
+    let service =
+        QueryService::build_and_start_weighted(&g, &SOURCES, 2, &ServiceConfig { workers: 2 });
+    let mut fuzz_rng = StdRng::seed_from_u64(0xBEEF);
+    let mut batch = Vec::new();
+    for _ in 0..1500 {
+        if let Ok(Request::Query(q)) = parse_request(&hostile_line(&mut fuzz_rng)) {
+            batch.push(q);
+        }
+    }
+    let reference: Vec<_> = batch.iter().map(|&q| service.oracle().query(q)).collect();
+    assert_eq!(service.answer_batch(&batch), reference);
+    let good = Query::new(0, N - 1, Edge::new(0, 1));
+    assert_eq!(service.answer_batch(&[good])[0], service.oracle().query(good));
+    service.shutdown();
+}

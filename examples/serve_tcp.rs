@@ -22,8 +22,8 @@ use msrp::graph::generators::connected_gnm;
 use msrp::graph::Graph;
 use msrp::oracle::ReplacementPathOracle;
 use msrp::serve::{
-    format_answer, format_query, parse_answer, parse_request, random_queries, QueryService,
-    Request, ServiceConfig,
+    format_answer, format_query, parse_answer, parse_request, random_queries, validate_query,
+    QueryService, Request, ServiceConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,8 +45,20 @@ fn demo_graph() -> Graph {
     connected_gnm(N, M, &mut rng).expect("valid demo parameters")
 }
 
+/// A batch line is either the index of a validated query or an error to report in place.
+enum BatchSlot {
+    Query(usize),
+    Invalid(String),
+}
+
 /// Answers one connection's requests until `QUIT` or EOF.
+///
+/// Every parsed query is validated against the served graph's vertex count *before* it is
+/// enqueued; an out-of-range id draws an `ERR` reply instead of reaching the oracle's
+/// panicking array accesses (the regression exercised by the client below: a line like
+/// `Q 0 999999999 0 1` used to kill the worker thread that dequeued it).
 fn handle_connection(stream: TcpStream, service: &QueryService) -> std::io::Result<()> {
+    let vertex_count = service.oracle().vertex_count();
     let mut writer = BufWriter::new(stream.try_clone()?);
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
@@ -56,15 +68,27 @@ fn handle_connection(stream: TcpStream, service: &QueryService) -> std::io::Resu
             return Ok(()); // client hung up
         }
         match parse_request(line.trim_end()) {
-            Ok(Request::Query(q)) => {
-                let answers = service.answer_batch(&[q]);
-                writeln!(writer, "{}", format_answer(answers[0]))?;
-            }
+            Ok(Request::Query(q)) => match validate_query(&q, vertex_count) {
+                Ok(()) => {
+                    let answers = service.answer_batch(&[q]);
+                    writeln!(writer, "{}", format_answer(answers[0]))?;
+                }
+                Err(e) => writeln!(writer, "ERR {e}")?,
+            },
             Ok(Request::Batch(k)) if k > MAX_BATCH => {
+                // The client may already have pipelined its k query lines; answering them
+                // as top-level requests would desynchronize every later reply. An
+                // over-limit header is therefore fatal for the connection, like a
+                // malformed batch line below.
                 writeln!(writer, "ERR batch size {k} exceeds the limit of {MAX_BATCH}")?;
+                writer.flush()?;
+                return Ok(());
             }
             Ok(Request::Batch(k)) => {
-                // Length-delimited batch: exactly k query lines follow the header.
+                // Length-delimited batch: exactly k query lines follow the header. Lines
+                // that fail id validation get an in-place ERR reply (still one reply line
+                // per batch line); only a grammatically broken line aborts the connection.
+                let mut slots = Vec::with_capacity(k);
                 let mut batch = Vec::with_capacity(k);
                 for _ in 0..k {
                     line.clear();
@@ -72,7 +96,13 @@ fn handle_connection(stream: TcpStream, service: &QueryService) -> std::io::Resu
                         return Ok(());
                     }
                     match parse_request(line.trim_end()) {
-                        Ok(Request::Query(q)) => batch.push(q),
+                        Ok(Request::Query(q)) => match validate_query(&q, vertex_count) {
+                            Ok(()) => {
+                                slots.push(BatchSlot::Query(batch.len()));
+                                batch.push(q);
+                            }
+                            Err(e) => slots.push(BatchSlot::Invalid(e.to_string())),
+                        },
                         _ => {
                             writeln!(writer, "ERR batch lines must be Q queries")?;
                             writer.flush()?;
@@ -80,8 +110,12 @@ fn handle_connection(stream: TcpStream, service: &QueryService) -> std::io::Resu
                         }
                     }
                 }
-                for answer in service.answer_batch(&batch) {
-                    writeln!(writer, "{}", format_answer(answer))?;
+                let answers = service.answer_batch(&batch);
+                for slot in slots {
+                    match slot {
+                        BatchSlot::Query(i) => writeln!(writer, "{}", format_answer(answers[i]))?,
+                        BatchSlot::Invalid(e) => writeln!(writer, "ERR {e}")?,
+                    }
                 }
             }
             Ok(Request::Stats) => {
@@ -159,6 +193,41 @@ fn run_client(addr: &str) {
             "socket answer for {q:?} must match the in-process oracle"
         );
     }
+    // Regression: out-of-range ids in `Q` lines used to panic the serving worker. Each must
+    // draw an `ERR` reply over the real socket — and the server must keep answering
+    // afterwards (the follow-up valid queries below prove the worker survived).
+    let read_raw = |reader: &mut BufReader<TcpStream>, line: &mut String| -> String {
+        line.clear();
+        reader.read_line(line).expect("server replied");
+        line.trim_end().to_string()
+    };
+    let hostile_lines = [
+        "Q 0 999999999 0 1".to_string(),            // target out of range
+        format!("Q 0 1 0 {N}"),                     // edge endpoint just past the boundary
+        "Q 18446744073709551615 1 0 1".to_string(), // u64::MAX source
+    ];
+    for hostile in &hostile_lines {
+        writeln!(writer, "{hostile}").expect("send hostile line");
+        let reply = read_raw(&mut reader, &mut line);
+        assert!(reply.starts_with("ERR"), "hostile line {hostile:?} must draw ERR, got {reply:?}");
+    }
+    // A batch mixing valid and out-of-range lines: one reply per line, in order.
+    writeln!(writer, "B 3").expect("send batch header");
+    writeln!(writer, "{}", format_query(&queries[0])).expect("send valid batch line");
+    writeln!(writer, "Q 0 999999999 0 1").expect("send hostile batch line");
+    writeln!(writer, "{}", format_query(&queries[1])).expect("send valid batch line");
+    let first = read_answer(&mut reader, &mut line);
+    assert_eq!(
+        first,
+        reference.replacement_distance(queries[0].source, queries[0].target, queries[0].avoid)
+    );
+    let second = read_raw(&mut reader, &mut line);
+    assert!(second.starts_with("ERR"), "hostile batch line must draw ERR, got {second:?}");
+    let third = read_answer(&mut reader, &mut line);
+    assert_eq!(
+        third,
+        reference.replacement_distance(queries[1].source, queries[1].target, queries[1].avoid)
+    );
     // One length-delimited batch for the rest.
     let batch = &queries[16..];
     writeln!(writer, "B {}", batch.len()).expect("send batch header");
@@ -173,18 +242,28 @@ fn run_client(addr: &str) {
             "batched socket answer for {q:?} must match the in-process oracle"
         );
     }
-    // Metrics over the wire, then hang up.
+    // Metrics over the wire.
     writeln!(writer, "STATS").expect("send stats");
     line.clear();
     reader.read_line(&mut line).expect("stats reply");
     println!("server reports: {}", line.trim_end());
-    writeln!(writer, "QUIT").expect("send quit");
+    // Last on this connection: a batch header over the server's limit draws an ERR and
+    // closes the connection (the client might already have pipelined the batch lines, so
+    // continuing would desynchronize replies). EOF doubles as the QUIT.
+    writeln!(writer, "B 999999999").expect("send oversized batch header");
+    let reply = read_raw(&mut reader, &mut line);
+    assert!(reply.starts_with("ERR"), "oversized batch header must draw ERR, got {reply:?}");
+    line.clear();
+    let eof = reader.read_line(&mut line).expect("read after oversized header");
+    assert_eq!(eof, 0, "the server must close the connection after an over-limit header");
 
     println!(
-        "client verified {} answers ({} single + {} batched) against the in-process oracle",
+        "client verified {} answers ({} single + {} batched) against the in-process oracle, \
+         and {} hostile lines drew ERR replies without killing a worker",
         queries.len(),
         16,
-        batch.len()
+        batch.len(),
+        hostile_lines.len() + 2
     );
 }
 

@@ -1,9 +1,9 @@
-//! Experiment harness: regenerates the derived tables E1–E9 described in `EXPERIMENTS.md`.
+//! Experiment harness: regenerates the derived tables E1–E10 described in `EXPERIMENTS.md`.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run -p msrp-bench --release --bin experiments -- [e1|...|e9|all] [--quick] [--list]
+//! cargo run -p msrp-bench --release --bin experiments -- [e1|...|e10|all] [--quick] [--list]
 //! ```
 //!
 //! `--quick` shrinks the instance sizes so that every experiment finishes in a few seconds
@@ -32,7 +32,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Every experiment id with its one-line description (printed by `--list`).
-const EXPERIMENTS: [(&str, &str); 9] = [
+const EXPERIMENTS: [(&str, &str); 10] = [
     ("e1", "single-source scaling (Theorem 14) vs the two O~(mn) baselines"),
     ("e2", "multi-source scaling in sigma (Theorem 1/26) on a fixed graph"),
     ("e3", "exactness rate of the randomized algorithm, paper vs scaled constants"),
@@ -42,6 +42,7 @@ const EXPERIMENTS: [(&str, &str); 9] = [
     ("e7", "link-failure recovery simulation: oracle recovery vs recomputation"),
     ("e8", "sharded query service: parallel build, concurrent throughput, latency"),
     ("e9", "weighted MSRP: subtree-Dijkstra solver vs weighted brute force (Section 9)"),
+    ("e10", "Bernstein-Karger preprocessing vs per-tree-edge brute force, tables compared"),
 ];
 
 fn main() {
@@ -94,6 +95,9 @@ fn main() {
     }
     if run("e9") {
         experiment_e9(quick);
+    }
+    if run("e10") {
+        experiment_e10(quick);
     }
 }
 
@@ -453,6 +457,48 @@ fn experiment_e9(quick: bool) {
                 format!("{brute_secs:.3}"),
                 format!("{:.2}x", brute_secs / solver_secs.max(1e-9)),
                 out.entry_count().to_string(),
+                all_equal.to_string(),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// E10 — the Bernstein–Karger preprocessing (heavy-path cover + per-cut subtree searches)
+/// against the per-tree-edge brute force, with the full replacement tables compared bit for
+/// bit (`ReplacementPathOracle::per_source` row equality — every entry, nothing sampled).
+fn experiment_e10(quick: bool) {
+    println!("\n=== E10: Bernstein-Karger preprocessing vs per-tree-edge brute force ===");
+    let sizes: &[usize] = if quick { &[96, 192] } else { &[128, 256, 512, 1024] };
+    let sigma = 4;
+    let mut table = Table::new([
+        "kind",
+        "n",
+        "m",
+        "sigma",
+        "BK build (s)",
+        "exact build (s)",
+        "speedup",
+        "entries",
+        "all equal",
+    ]);
+    for kind in [WorkloadKind::SparseRandom, WorkloadKind::Grid] {
+        for &n in sizes {
+            let g = standard_graph(kind, n, 13).freeze();
+            let sources = evenly_spaced_sources(g.vertex_count(), sigma);
+            let (bk, bk_secs) = time_secs(|| ReplacementPathOracle::build_bk_csr(&g, &sources));
+            let (exact, exact_secs) =
+                time_secs(|| ReplacementPathOracle::build_exact_csr(&g, &sources));
+            let all_equal = bk.per_source() == exact.per_source();
+            table.add_row([
+                kind.label().to_string(),
+                g.vertex_count().to_string(),
+                g.edge_count().to_string(),
+                sources.len().to_string(),
+                format!("{bk_secs:.3}"),
+                format!("{exact_secs:.3}"),
+                format!("{:.2}x", exact_secs / bk_secs.max(1e-9)),
+                bk.entry_count().to_string(),
                 all_equal.to_string(),
             ]);
         }

@@ -40,6 +40,7 @@ mod error;
 mod graph;
 mod lca;
 mod metrics;
+mod path_cover;
 mod tree;
 mod weighted;
 
@@ -56,5 +57,6 @@ pub use error::GraphError;
 pub use graph::{Graph, Vertex};
 pub use lca::LcaIndex;
 pub use metrics::{diameter_lower_bound, graph_metrics, GraphMetrics};
+pub use path_cover::TreePathCover;
 pub use tree::ShortestPathTree;
 pub use weighted::{DijkstraScratch, WeightedCsrGraph, WeightedGraph, WeightedTree};

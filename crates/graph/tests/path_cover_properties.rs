@@ -1,0 +1,167 @@
+//! Property suite for the heavy-path cover decomposition ([`TreePathCover`]), the substrate
+//! of the Bernstein–Karger preprocessing in `msrp-oracle`.
+//!
+//! Seed-pinned (the workspace has no live proptest; see `DESIGN.md`, "Determinism policy"):
+//! every invariant is checked over BFS trees of seeded gnm and Barabási–Albert graphs from
+//! several roots, plus the structured families the differential suite uses.
+//!
+//! The invariants:
+//!
+//! 1. every tree edge lies on exactly one cover path (the path of its deeper endpoint);
+//! 2. cover paths are vertex-disjoint descending ancestor chains partitioning the reachable
+//!    vertices;
+//! 3. the cover size equals the leaf count, and any root→`t` path meets at most
+//!    `⌊log₂ n⌋ + 1` distinct cover paths (the heavy-path bound the BK tables are charged
+//!    against);
+//! 4. the heavy-first preorder makes every subtree a contiguous slice that agrees with
+//!    Euler-tour ancestry.
+
+use std::collections::HashSet;
+
+use msrp_graph::generators::{barabasi_albert, connected_gnm, cycle_graph, gnm, star_graph};
+use msrp_graph::{Edge, Graph, ShortestPathTree, TreePathCover, Vertex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Check every cover invariant for one tree.
+fn check_cover(g: &Graph, tree: &ShortestPathTree, cover: &TreePathCover) {
+    let n = g.vertex_count();
+    let reachable: Vec<Vertex> = (0..n).filter(|&v| tree.is_reachable(v)).collect();
+
+    // -- 2. Vertex-disjoint descending chains partitioning the reachable vertices. --
+    let mut seen: HashSet<Vertex> = HashSet::new();
+    for i in 0..cover.path_count() {
+        let chain = cover.path(i);
+        assert!(!chain.is_empty(), "path {i} is empty");
+        for &v in chain {
+            assert!(seen.insert(v), "vertex {v} appears on two cover paths");
+            assert_eq!(cover.path_of(v), Some(i));
+        }
+        for (j, w) in chain.windows(2).enumerate() {
+            assert_eq!(tree.parent(w[1]), Some(w[0]), "path {i} must be a parent→child chain");
+            assert_eq!(cover.index_in_path(w[0]), j);
+            assert_eq!(cover.index_in_path(w[1]), j + 1);
+        }
+        // An ancestor chain: the head is an ancestor of every chain vertex.
+        for &v in chain {
+            assert!(tree.is_ancestor(chain[0], v));
+        }
+    }
+    assert_eq!(seen.len(), reachable.len(), "cover must partition the reachable vertices");
+    for &v in &reachable {
+        assert!(seen.contains(&v), "reachable vertex {v} is uncovered");
+    }
+    for v in 0..n {
+        if !tree.is_reachable(v) {
+            assert_eq!(cover.path_of(v), None, "unreachable vertex {v} must be uncovered");
+        }
+    }
+
+    // -- 1. Every tree edge on exactly one cover path. --
+    // The edges a path owns: the light edge above its head (when the head is not the root)
+    // plus its internal chain edges.
+    let mut covered_edges: HashSet<Edge> = HashSet::new();
+    for i in 0..cover.path_count() {
+        let chain = cover.path(i);
+        if let Some(p) = tree.parent(chain[0]) {
+            assert!(covered_edges.insert(Edge::new(p, chain[0])), "edge covered twice");
+        }
+        for w in chain.windows(2) {
+            assert!(covered_edges.insert(Edge::new(w[0], w[1])), "edge covered twice");
+        }
+    }
+    let tree_edges: HashSet<Edge> =
+        reachable.iter().filter_map(|&v| tree.parent(v).map(|p| Edge::new(p, v))).collect();
+    assert_eq!(covered_edges, tree_edges, "cover paths must own exactly the tree edges");
+
+    // -- 3. Cover size and the heavy-path crossing bound. --
+    let leaves = reachable
+        .iter()
+        .filter(|&&v| !reachable.iter().any(|&c| tree.parent(c) == Some(v)))
+        .count();
+    assert_eq!(cover.path_count(), leaves, "one cover path per leaf");
+    let bound = (usize::BITS - n.leading_zeros()) as usize; // ⌊log₂ n⌋ + 1
+    for &t in &reachable {
+        let mut paths_met: HashSet<usize> = HashSet::new();
+        let mut cur = Some(t);
+        while let Some(v) = cur {
+            paths_met.insert(cover.path_of(v).unwrap());
+            cur = tree.parent(v);
+        }
+        assert!(
+            paths_met.len() <= bound,
+            "root→{t} path meets {} cover paths (> ⌊log₂ {n}⌋ + 1 = {bound})",
+            paths_met.len()
+        );
+    }
+
+    // -- 4. Subtree slices agree with Euler-tour ancestry. --
+    for &a in &reachable {
+        assert_eq!(cover.subtree_size(a), cover.descendants(a).len());
+        let slice: HashSet<Vertex> = cover.descendants(a).iter().copied().collect();
+        for v in 0..n {
+            let expected = tree.is_reachable(v) && tree.is_ancestor(a, v);
+            assert_eq!(slice.contains(&v), expected, "a={a} v={v}");
+            assert_eq!(cover.in_subtree(a, v), expected, "a={a} v={v}");
+        }
+    }
+    assert_eq!(cover.preorder().len(), reachable.len());
+}
+
+#[test]
+fn cover_invariants_on_seeded_random_graphs() {
+    let mut rng = StdRng::seed_from_u64(0xC0FE);
+    for trial in 0..6 {
+        let n = 24 + 8 * trial;
+        let g = connected_gnm(n, 2 * n + trial, &mut rng).unwrap();
+        for s in [0, n / 2, n - 1] {
+            let tree = ShortestPathTree::build(&g, s);
+            check_cover(&g, &tree, &TreePathCover::build(&tree));
+        }
+    }
+}
+
+#[test]
+fn cover_invariants_on_preferential_attachment() {
+    let mut rng = StdRng::seed_from_u64(0xBA);
+    for n in [20usize, 45, 80] {
+        let g = barabasi_albert(n, 3, &mut rng).unwrap();
+        for s in [0, n - 1] {
+            let tree = ShortestPathTree::build(&g, s);
+            check_cover(&g, &tree, &TreePathCover::build(&tree));
+        }
+    }
+}
+
+#[test]
+fn cover_invariants_on_disconnected_graphs() {
+    let mut rng = StdRng::seed_from_u64(0xD15C);
+    for n in [18usize, 30] {
+        // gnm (not connected_gnm): typically several components and isolated vertices.
+        let g = gnm(n, n / 2, &mut rng).unwrap();
+        for s in 0..n.min(5) {
+            let tree = ShortestPathTree::build(&g, s);
+            check_cover(&g, &tree, &TreePathCover::build(&tree));
+        }
+    }
+}
+
+#[test]
+fn cover_invariants_on_structured_families() {
+    for g in [cycle_graph(17), star_graph(9), msrp_graph::generators::grid_graph(5, 6)] {
+        let tree = ShortestPathTree::build(&g, 0);
+        check_cover(&g, &tree, &TreePathCover::build(&tree));
+    }
+}
+
+#[test]
+fn deep_chains_collapse_to_one_path() {
+    // A path graph is a single chain: the decomposition must produce exactly one cover path
+    // containing every vertex in root→leaf order.
+    let g = msrp_graph::generators::path_graph(40);
+    let tree = ShortestPathTree::build(&g, 0);
+    let cover = TreePathCover::build(&tree);
+    assert_eq!(cover.path_count(), 1);
+    assert_eq!(cover.path(0), (0..40).collect::<Vec<_>>().as_slice());
+    check_cover(&g, &tree, &cover);
+}

@@ -1,0 +1,421 @@
+//! The Bernstein–Karger single-fault preprocessing: path-cover decomposition plus per-path
+//! replacement tables, replacing the one-BFS-per-tree-edge brute force of
+//! [`build_exact`](ReplacementPathOracle::build_exact).
+//!
+//! # The pipeline
+//!
+//! For each source `s` with BFS tree `T_s`:
+//!
+//! 1. **Decompose** `T_s` into its heavy-path cover ([`TreePathCover`]): vertex-disjoint
+//!    descending chains, every tree edge owned by exactly one cover path, every subtree a
+//!    contiguous slice of the heavy-first preorder.
+//! 2. **Walk each cover path top to bottom.** The edge above chain vertex `c` — the tree edge
+//!    `e = (p, c)` with `p = parent(c)` — separates the subtree `C = desc(c)` from the rest of
+//!    the tree, and the targets whose canonical path uses `e` are exactly the members of `C`.
+//! 3. **Solve one cut, not one graph.** For `t ∈ C`, every `s–t` path in `G \ e` decomposes at
+//!    its *last* entry into `C`: a prefix from `s` to some `x ∉ C` (whose canonical distance
+//!    survives, because canonical paths of non-descendants never use `e`), one crossing edge
+//!    `{x, y} ≠ e`, and a suffix inside `G[C]`. Therefore
+//!
+//!    ```text
+//!    d_{G\e}(s, t) = min_{y ∈ C} [ seed(y) + d_{G[C]}(y, t) ],
+//!    seed(y) = min { d(s, x) + 1 : {x, y} ∈ E, x ∉ C, {x, y} ≠ e }
+//!    ```
+//!
+//!    which one multi-seed BFS over the subtree slice computes exactly — a bucket (Dial)
+//!    queue absorbs the unequal seed values, whose spread is at most `|C|`.
+//!
+//! The per-path tables this fills are the rows of [`SourceReplacementDistances`], indexed by
+//! the canonical-path position of the avoided edge, so `QUERY(s, t, e)` stays the same `O(1)`
+//! lookup the rest of the workspace already serves. The answers are **bit-for-bit identical**
+//! to `build_exact`'s: both store the exact distance `d_{G\e}(s, t)`, a unique number — the
+//! differential suite (`tests/bk_differential.rs`) pins this on every seeded workload family.
+//!
+//! # Cost
+//!
+//! Processing the edge above `c` touches `O(|C| + m(C))` words, where `m(C)` counts edges
+//! with an endpoint in `C`. Summed over all tree edges this is
+//! `O(Σ_t depth(t) + Σ_{{u,v} ∈ E} (depth(u) + depth(v)))` — output-sensitive, and
+//! `O((n + m) · log n)`-ish on the shallow trees of the random workloads — versus the brute
+//! force's `Θ(n · m)` per source (one full BFS per tree edge). `BENCH_bk.json` records the
+//! measured gap.
+
+use msrp_graph::{
+    BfsScratch, CsrGraph, Distance, Graph, ShortestPathTree, TreePathCover, Vertex,
+    INFINITE_DISTANCE,
+};
+use msrp_rpath::SourceReplacementDistances;
+
+use crate::ReplacementPathOracle;
+
+/// Reusable buffers for the Bernstein–Karger per-cut searches: one distance array reset in
+/// `O(touched)`, the bucket (Dial) queue absorbing unequal seed values, and the seed buffer.
+///
+/// One scratch serves every cut of every cover path of every source, so the whole
+/// [`build_bk`](ReplacementPathOracle::build_bk) construction performs no per-cut allocation
+/// (mirroring what [`BfsScratch`] does for `build_exact`).
+#[derive(Clone, Debug, Default)]
+pub struct BkScratch {
+    /// Tentative distances of the current cut (`INFINITE_DISTANCE` when untouched).
+    dist: Vec<Distance>,
+    /// Vertices whose `dist` entry the current cut wrote (the reset list).
+    touched: Vec<Vertex>,
+    /// `buckets[d - base]` holds vertices with tentative distance `d` (lazy deletion).
+    buckets: Vec<Vec<Vertex>>,
+    /// Seed values aligned with the subtree slice of the current cut.
+    seeds: Vec<Distance>,
+}
+
+impl BkScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the multi-seed bucket BFS for the cut below tree edge `(p, c)`, leaving
+    /// `self.dist[t] = d_{G\(p,c)}(s, t)` for every `t` in the subtree of `c`.
+    /// Returns `false` (leaving every distance infinite) when no crossing edge exists —
+    /// the failed edge is a bridge and the whole subtree is disconnected.
+    fn run_cut(
+        &mut self,
+        g: &CsrGraph,
+        tree: &ShortestPathTree,
+        cover: &TreePathCover,
+        p: Vertex,
+        c: Vertex,
+    ) -> bool {
+        let n = g.vertex_count();
+        if self.dist.len() != n {
+            self.dist.clear();
+            self.dist.resize(n, INFINITE_DISTANCE);
+        }
+        let sub = cover.descendants(c);
+        // Pass 1: seed every subtree vertex from its crossing edges. A neighbour x
+        // contributes when it lies outside the subtree (its canonical distance survives the
+        // failure) via an edge other than the failed one; `{p, c}` is the only *tree* edge
+        // crossing the cut, so the exclusion is exactly that single pair.
+        self.seeds.clear();
+        let mut base = INFINITE_DISTANCE;
+        for &y in sub {
+            let mut s = INFINITE_DISTANCE;
+            for &x in g.neighbor_row(y) {
+                let x = x as Vertex;
+                if cover.in_subtree(c, x) || (y == c && x == p) {
+                    continue;
+                }
+                let dx = tree.distance_or_infinite(x);
+                if dx != INFINITE_DISTANCE && dx + 1 < s {
+                    s = dx + 1;
+                }
+            }
+            self.seeds.push(s);
+            if s < base {
+                base = s;
+            }
+        }
+        if base == INFINITE_DISTANCE {
+            return false; // bridge: every replacement entry of this cut stays infinite
+        }
+        // Pass 2: Dial's algorithm over the subtree. Seed spread is at most |C| (seeds of
+        // adjacent subtree vertices differ by at most 1 plus the internal hop), so the
+        // bucket index never strays far from `d - base`.
+        let mut last = 0usize;
+        for (i, &y) in sub.iter().enumerate() {
+            let s = self.seeds[i];
+            if s == INFINITE_DISTANCE {
+                continue;
+            }
+            self.dist[y] = s;
+            self.touched.push(y);
+            let idx = (s - base) as usize;
+            if idx >= self.buckets.len() {
+                self.buckets.resize_with(idx + 1, Vec::new);
+            }
+            self.buckets[idx].push(y);
+            last = last.max(idx);
+        }
+        let mut cur = 0usize;
+        while cur <= last {
+            while let Some(v) = self.buckets[cur].pop() {
+                let dv = base + cur as Distance;
+                if self.dist[v] != dv {
+                    continue; // stale queue entry: v was re-seeded or relaxed lower
+                }
+                for &x in g.neighbor_row(v) {
+                    let x = x as Vertex;
+                    if !cover.in_subtree(c, x) || dv + 1 >= self.dist[x] {
+                        continue;
+                    }
+                    if self.dist[x] == INFINITE_DISTANCE {
+                        self.touched.push(x);
+                    }
+                    self.dist[x] = dv + 1;
+                    let idx = cur + 1;
+                    if idx >= self.buckets.len() {
+                        self.buckets.resize_with(idx + 1, Vec::new);
+                    }
+                    self.buckets[idx].push(x);
+                    last = last.max(idx);
+                }
+            }
+            cur += 1;
+        }
+        true
+    }
+
+    /// Clears the entries the last cut wrote (`O(touched)`).
+    fn reset(&mut self) {
+        for &v in &self.touched {
+            self.dist[v] = INFINITE_DISTANCE;
+        }
+        self.touched.clear();
+    }
+}
+
+/// The Bernstein–Karger replacement table for one source: walks every cover path of `cover`
+/// top to bottom and solves each tree-edge cut with one multi-seed subtree BFS, filling the
+/// same row layout the brute force fills — exactly (see the module docs for the identity).
+///
+/// `tree` and `cover` must belong together (`cover == TreePathCover::build(tree)`), and the
+/// tree must be rooted at a vertex of `g`. Exposed (rather than private to
+/// [`build_bk`](ReplacementPathOracle::build_bk)) so the differential suite and experiment
+/// E10 can compare rows against `single_source_brute_force_csr` with `==`.
+///
+/// # Panics
+///
+/// Panics if `tree` is not rooted at a vertex of `g`.
+pub fn bk_replacement_distances(
+    g: &CsrGraph,
+    tree: &ShortestPathTree,
+    cover: &TreePathCover,
+    scratch: &mut BkScratch,
+) -> SourceReplacementDistances {
+    let n = g.vertex_count();
+    assert!(tree.source() < n, "tree root out of range for the graph");
+    let mut out = SourceReplacementDistances::new(tree);
+    for path_id in 0..cover.path_count() {
+        for &c in cover.path(path_id) {
+            let p = match tree.parent(c) {
+                Some(p) => p,
+                None => continue, // c is the root: no edge above it
+            };
+            let pos = tree.distance_or_infinite(c) as usize - 1;
+            if scratch.run_cut(g, tree, cover, p, c) {
+                for &t in cover.descendants(c) {
+                    let d = scratch.dist[t];
+                    if d != INFINITE_DISTANCE {
+                        out.set(t, pos, d);
+                    }
+                }
+                scratch.reset();
+            }
+        }
+    }
+    out
+}
+
+impl ReplacementPathOracle {
+    /// Builds the oracle with the real Bernstein–Karger preprocessing: heavy-path cover
+    /// decomposition of every source tree plus one multi-seed subtree BFS per tree-edge cut,
+    /// instead of [`build_exact`](Self::build_exact)'s full BFS per tree edge. Answers are
+    /// bit-for-bit identical to `build_exact`'s (pinned by `tests/bk_differential.rs`);
+    /// only the construction cost differs. Freezes `g` once.
+    ///
+    /// ```
+    /// use msrp_graph::{generators::cycle_graph, Edge};
+    /// use msrp_oracle::ReplacementPathOracle;
+    ///
+    /// let g = cycle_graph(8);
+    /// let oracle = ReplacementPathOracle::build_bk(&g, &[0, 4]);
+    /// assert_eq!(oracle.replacement_distance(0, 3, Edge::new(1, 2)), Some(5));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same inputs as [`build_exact`](Self::build_exact) (an out-of-range
+    /// source).
+    pub fn build_bk(g: &Graph, sources: &[Vertex]) -> Self {
+        Self::build_bk_csr(&g.freeze(), sources)
+    }
+
+    /// CSR entry point of [`build_bk`](Self::build_bk): every tree is built through one
+    /// shared [`BfsScratch`] and every cut through one shared [`BkScratch`], so the whole
+    /// construction performs no per-cut allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source is out of range for `g`.
+    pub fn build_bk_csr(g: &CsrGraph, sources: &[Vertex]) -> Self {
+        let mut bfs = BfsScratch::new();
+        let mut scratch = BkScratch::new();
+        let trees: Vec<_> =
+            sources.iter().map(|&s| ShortestPathTree::build_with_scratch(g, s, &mut bfs)).collect();
+        let distances = trees
+            .iter()
+            .map(|t| {
+                let cover = TreePathCover::build(t);
+                bk_replacement_distances(g, t, &cover, &mut scratch)
+            })
+            .collect();
+        Self::from_parts(sources.to_vec(), trees, distances)
+    }
+}
+
+/// Builds one Bernstein–Karger oracle per shard, in parallel (one scoped worker per shard
+/// over the caller's graph, frozen once) — the BK mirror of [`build_shards`](crate::build_shards),
+/// consumed by `msrp-serve`'s `ShardedOracle::build_bk_csr`.
+///
+/// `threads == 0` is treated as 1 (built inline); thread counts above σ are clamped to σ.
+///
+/// # Panics
+///
+/// Panics on the inputs [`ReplacementPathOracle::build_bk`] rejects, and if a worker thread
+/// panics.
+pub fn build_bk_shards(
+    g: &Graph,
+    sources: &[Vertex],
+    threads: usize,
+) -> Vec<ReplacementPathOracle> {
+    build_bk_shards_csr(&g.freeze(), sources, threads)
+}
+
+/// CSR entry point of [`build_bk_shards`]: every scoped worker traverses the same frozen
+/// view through a shared reference.
+///
+/// # Panics
+///
+/// Same as [`build_bk_shards`].
+pub fn build_bk_shards_csr(
+    g: &CsrGraph,
+    sources: &[Vertex],
+    threads: usize,
+) -> Vec<ReplacementPathOracle> {
+    let threads = threads.max(1).min(sources.len().max(1));
+    if threads == 1 {
+        return vec![ReplacementPathOracle::build_bk_csr(g, sources)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = crate::shard_sources(sources, threads)
+            .into_iter()
+            .map(|chunk| scope.spawn(move || ReplacementPathOracle::build_bk_csr(g, chunk)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("oracle shard worker panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrp_graph::generators::{connected_gnm, cycle_graph, grid_graph, path_graph, star_graph};
+    use msrp_graph::Edge;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rows_match_brute_force(g: &Graph, s: Vertex) {
+        let csr = g.freeze();
+        let tree = ShortestPathTree::build_csr(&csr, s);
+        let cover = TreePathCover::build(&tree);
+        let mut scratch = BkScratch::new();
+        let bk = bk_replacement_distances(&csr, &tree, &cover, &mut scratch);
+        let brute = msrp_rpath::single_source_brute_force_csr(&csr, &tree);
+        assert_eq!(bk, brute, "source {s}");
+    }
+
+    #[test]
+    fn bk_rows_equal_brute_force_on_small_families() {
+        for g in [cycle_graph(9), path_graph(7), star_graph(6), grid_graph(4, 5)] {
+            for s in 0..g.vertex_count().min(4) {
+                rows_match_brute_force(&g, s);
+            }
+        }
+    }
+
+    #[test]
+    fn bk_rows_equal_brute_force_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = connected_gnm(40, 95, &mut rng).unwrap();
+        for s in [0, 13, 39] {
+            rows_match_brute_force(&g, s);
+        }
+    }
+
+    #[test]
+    fn bk_rows_equal_brute_force_on_disconnected_graphs() {
+        // Two components plus isolated vertices; cuts inside one component must never leak
+        // distances into the other.
+        let g = Graph::from_edges(
+            12,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (6, 7), (7, 8), (8, 6)],
+        )
+        .unwrap();
+        for s in [0, 4, 6, 9] {
+            rows_match_brute_force(&g, s);
+        }
+    }
+
+    #[test]
+    fn bk_oracle_matches_exact_oracle_queries() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = connected_gnm(26, 60, &mut rng).unwrap();
+        let sources = [0usize, 9, 20];
+        let bk = ReplacementPathOracle::build_bk(&g, &sources);
+        let exact = ReplacementPathOracle::build_exact(&g, &sources);
+        assert_eq!(bk.per_source(), exact.per_source());
+        for &s in &sources {
+            for t in 0..g.vertex_count() {
+                for e in g.edges() {
+                    assert_eq!(
+                        bk.replacement_distance(s, t, e),
+                        exact.replacement_distance(s, t, e),
+                        "s={s} t={t} e={e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bk_reports_bridges_as_infinite() {
+        let g = path_graph(6);
+        let oracle = ReplacementPathOracle::build_bk(&g, &[0]);
+        for t in 1..6 {
+            for i in 0..t {
+                let e = Edge::new(i, i + 1);
+                assert_eq!(oracle.replacement_distance(0, t, e), Some(INFINITE_DISTANCE));
+            }
+        }
+    }
+
+    #[test]
+    fn bk_shards_agree_with_the_unsharded_build() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = connected_gnm(30, 72, &mut rng).unwrap();
+        let sources = [0usize, 6, 12, 18, 24];
+        let whole = ReplacementPathOracle::build_bk(&g, &sources);
+        for threads in [0usize, 1, 2, 5, 16] {
+            let shards = build_bk_shards(&g, &sources, threads);
+            let merged = ReplacementPathOracle::from_shards(shards);
+            assert_eq!(merged.sources(), &sources);
+            assert_eq!(merged.per_source(), whole.per_source(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shared_scratch_is_clean_across_cuts_and_sources() {
+        // Re-running a second source through the same scratch must not see stale state
+        // from the first (the O(touched) reset is the only cleanup).
+        let g = grid_graph(5, 5);
+        let csr = g.freeze();
+        let mut scratch = BkScratch::new();
+        let mut rows = Vec::new();
+        for s in [0usize, 12, 24] {
+            let tree = ShortestPathTree::build_csr(&csr, s);
+            let cover = TreePathCover::build(&tree);
+            rows.push(bk_replacement_distances(&csr, &tree, &cover, &mut scratch));
+        }
+        for (i, &s) in [0usize, 12, 24].iter().enumerate() {
+            let tree = ShortestPathTree::build_csr(&csr, s);
+            assert_eq!(rows[i], msrp_rpath::single_source_brute_force_csr(&csr, &tree));
+        }
+    }
+}

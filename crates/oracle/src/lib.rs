@@ -3,19 +3,28 @@
 //! Bernstein and Karger (STOC 2009) build, for *all* sources, a distance oracle of size `Õ(n²)`
 //! answering `QUERY(x, y, e)` — the length of the shortest `x–y` path avoiding the edge `e` — in
 //! `O(1)` time; the MSRP paper generalizes the preprocessing to an arbitrary number of sources
-//! `σ`. This crate packages the solver output of `msrp-core` behind that query interface:
+//! `σ`. This crate serves that query interface from three construction routes:
 //!
 //! * [`ReplacementPathOracle`] — per-source rows indexed by the canonical-path position of the
 //!   avoided edge (compact, cache friendly);
-//! * [`FlatReplacementOracle`] — the same data flattened into a cuckoo hash table keyed by
+//! * [`build_bk`](ReplacementPathOracle::build_bk) — the **real Bernstein–Karger
+//!   preprocessing** (heavy-path cover decomposition plus one multi-seed subtree search per
+//!   tree-edge cut, see the [`bk`] module);
+//! * [`build`](ReplacementPathOracle::build) — the paper's MSRP solver packaged behind the
+//!   same interface;
+//! * [`build_exact`](ReplacementPathOracle::build_exact) — the brute-force construction used
+//!   as the ground-truth comparator (all three routes produce bit-for-bit identical tables;
+//!   `tests/bk_differential.rs` pins it);
+//! * [`FlatReplacementOracle`] — any oracle flattened into a cuckoo hash table keyed by
 //!   `(source, target, edge)`, demonstrating the worst-case `O(1)` lookup structure the paper
-//!   cites (Pagh–Rodler, Lemma 5);
-//! * [`build_exact`](ReplacementPathOracle::build_exact) — a brute-force construction used as
-//!   the ground-truth comparator (the substitution for the full Bernstein–Karger preprocessing,
-//!   see `DESIGN.md`).
+//!   cites (Pagh–Rodler, Lemma 5).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod bk;
+
+pub use bk::{bk_replacement_distances, build_bk_shards, build_bk_shards_csr, BkScratch};
 
 use msrp_core::{solve_msrp_csr, solve_msrp_weighted, MsrpOutput, MsrpParams, WeightedMsrpOutput};
 use msrp_graph::{
@@ -128,6 +137,25 @@ impl ReplacementPathOracle {
     /// Wraps an existing solver output.
     pub fn from_msrp_output(out: MsrpOutput) -> Self {
         ReplacementPathOracle { sources: out.sources, trees: out.trees, distances: out.per_source }
+    }
+
+    /// Assembles an oracle from its parts (crate-internal: the Bernstein–Karger construction
+    /// in [`bk`] builds trees and rows itself).
+    pub(crate) fn from_parts(
+        sources: Vec<Vertex>,
+        trees: Vec<ShortestPathTree>,
+        distances: Vec<SourceReplacementDistances>,
+    ) -> Self {
+        ReplacementPathOracle { sources, trees, distances }
+    }
+
+    /// The per-source replacement tables, in source order.
+    ///
+    /// Exposed so differential tests and experiments can compare two construction routes
+    /// row-for-row with `==` (the rows are the oracle's entire answer state: two oracles over
+    /// the same trees with equal rows answer every query identically).
+    pub fn per_source(&self) -> &[SourceReplacementDistances] {
+        &self.distances
     }
 
     /// Builds the oracle by brute force (one BFS per tree edge per source); exact, used as the

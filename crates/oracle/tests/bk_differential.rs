@@ -1,0 +1,174 @@
+//! Differential battery for the Bernstein–Karger preprocessing: on every seeded workload
+//! family, the BK construction, the per-tree-edge brute force behind
+//! [`ReplacementPathOracle::build_exact`], and the independent
+//! [`single_source_brute_force_csr`] rows must agree **bit for bit** — same rows, same query
+//! answers, for every source-set size σ ∈ {1, ⌈√n⌉, n/4}.
+//!
+//! Everything is seed-pinned (`DESIGN.md`, "Determinism policy"): a failure reproduces
+//! exactly, and the asserted equalities are table equality (`==` on
+//! [`SourceReplacementDistances`]), not sampled spot checks. A second layer re-checks the
+//! query surface itself (on-path, off-path, non-tree and disconnecting edges) so a future
+//! change to the query algebra cannot pass on table equality alone.
+
+use msrp_graph::generators::{
+    barabasi_albert, connected_gnm, cycle_graph, gnm, grid_graph, star_graph,
+};
+use msrp_graph::{CsrGraph, Graph, ShortestPathTree, TreePathCover, Vertex};
+use msrp_oracle::{bk_replacement_distances, BkScratch, ReplacementPathOracle};
+use msrp_rpath::single_source_brute_force_csr;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// σ ∈ {1, ⌈√n⌉, n/4}, deduplicated and clamped to [1, n].
+fn sigma_ladder(n: usize) -> Vec<usize> {
+    let mut sigmas = vec![1, (n as f64).sqrt().ceil() as usize, n / 4];
+    for s in &mut sigmas {
+        *s = (*s).clamp(1, n);
+    }
+    sigmas.dedup();
+    sigmas
+}
+
+/// σ distinct sources drawn from a seeded shuffle of the vertex set (so source sets are
+/// scattered, not the evenly-spaced ones the benches use).
+fn seeded_sources(n: usize, sigma: usize, seed: u64) -> Vec<Vertex> {
+    let mut ids: Vec<Vertex> = (0..n).collect();
+    ids.shuffle(&mut StdRng::seed_from_u64(seed));
+    ids.truncate(sigma);
+    ids
+}
+
+/// The battery: for every σ in the ladder, BK rows == exact rows == independent brute-force
+/// rows, and the three query surfaces agree on a seeded mix of on-path, off-path, non-tree
+/// and out-of-tree queries.
+fn differential_battery(name: &str, g: &Graph, seed: u64) {
+    let n = g.vertex_count();
+    let csr: CsrGraph = g.freeze();
+    let edges = g.edge_vec();
+    for (i, &sigma) in sigma_ladder(n).iter().enumerate() {
+        let sources = seeded_sources(n, sigma, seed ^ (i as u64).wrapping_mul(0x9E37));
+        let bk = ReplacementPathOracle::build_bk_csr(&csr, &sources);
+        let exact = ReplacementPathOracle::build_exact_csr(&csr, &sources);
+        // Layer 1: the whole answer state, row for row, bit for bit.
+        assert_eq!(bk.per_source(), exact.per_source(), "{name}: sigma={sigma}");
+        assert_eq!(bk.entry_count(), exact.entry_count(), "{name}: sigma={sigma}");
+        // Layer 2: an independent derivation of the same rows (fresh trees, fresh scratch),
+        // so the equality above cannot be satisfied by a shared bug.
+        let mut scratch = BkScratch::new();
+        for (idx, &s) in sources.iter().enumerate() {
+            let tree = ShortestPathTree::build_csr(&csr, s);
+            let cover = TreePathCover::build(&tree);
+            let brute = single_source_brute_force_csr(&csr, &tree);
+            assert_eq!(
+                bk_replacement_distances(&csr, &tree, &cover, &mut scratch),
+                brute,
+                "{name}: sigma={sigma} s={s}"
+            );
+            assert_eq!(&bk.per_source()[idx], &brute, "{name}: sigma={sigma} s={s}");
+        }
+        // Layer 3: the query surface. Every edge (tree or not, on the canonical path or
+        // not) against a seeded slice of targets — answers must match between the two
+        // oracles, including `Some(∞)` disconnections and `None` for non-sources.
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(sigma as u64));
+        let step = (n / 12).max(1);
+        for &s in &sources {
+            for t in (0..n).step_by(step) {
+                for _ in 0..8.min(edges.len()) {
+                    let e = edges[rng.gen_range(0..edges.len())];
+                    assert_eq!(
+                        bk.replacement_distance(s, t, e),
+                        exact.replacement_distance(s, t, e),
+                        "{name}: sigma={sigma} s={s} t={t} e={e}"
+                    );
+                }
+            }
+        }
+        let non_source = (0..n).find(|v| !sources.contains(v));
+        if let Some(v) = non_source {
+            assert_eq!(bk.replacement_distance(v, 0, edges[0]), None, "{name}");
+        }
+    }
+}
+
+use rand::Rng;
+
+#[test]
+fn differential_gnm() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let g = connected_gnm(48, 120, &mut rng).unwrap();
+    differential_battery("gnm", &g, 1);
+}
+
+#[test]
+fn differential_barabasi_albert() {
+    let mut rng = StdRng::seed_from_u64(202);
+    let g = barabasi_albert(44, 3, &mut rng).unwrap();
+    differential_battery("barabasi-albert", &g, 2);
+}
+
+#[test]
+fn differential_grid() {
+    differential_battery("grid", &grid_graph(6, 7), 3);
+}
+
+#[test]
+fn differential_cycle() {
+    differential_battery("cycle", &cycle_graph(30), 4);
+}
+
+#[test]
+fn differential_star() {
+    differential_battery("star", &star_graph(33), 5);
+}
+
+#[test]
+fn differential_disconnected() {
+    // A sparse gnm draw (several components, isolated vertices) plus a deliberately
+    // engineered two-component graph with bridges.
+    let mut rng = StdRng::seed_from_u64(303);
+    let g = gnm(40, 28, &mut rng).unwrap();
+    differential_battery("gnm-disconnected", &g, 6);
+    let h = Graph::from_edges(
+        14,
+        &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (7, 8), (8, 9), (9, 7), (9, 10)],
+    )
+    .unwrap();
+    differential_battery("two-components", &h, 7);
+}
+
+#[test]
+fn bk_sharded_parallel_builds_stay_bit_identical() {
+    // The sharded BK build (what `msrp-serve` consumes) merged back together must equal the
+    // sequential build row for row, at every thread count.
+    let mut rng = StdRng::seed_from_u64(404);
+    let g = connected_gnm(40, 100, &mut rng).unwrap();
+    let csr = g.freeze();
+    let sources = seeded_sources(40, 10, 11);
+    let whole = ReplacementPathOracle::build_bk_csr(&csr, &sources);
+    for threads in [1usize, 2, 3, 10] {
+        let merged = ReplacementPathOracle::from_shards(msrp_oracle::build_bk_shards_csr(
+            &csr, &sources, threads,
+        ));
+        assert_eq!(merged.per_source(), whole.per_source(), "threads={threads}");
+        assert_eq!(merged.sources(), whole.sources());
+    }
+}
+
+#[test]
+fn bk_flattened_oracle_agrees_with_exact_flattened_oracle() {
+    // The cuckoo-flattened view built from BK tables must behave exactly like the one built
+    // from the brute-force tables (same keys, same values, same misses).
+    let g = grid_graph(5, 5);
+    let sources = [0usize, 12, 24];
+    let bk = ReplacementPathOracle::build_bk(&g, &sources).flatten();
+    let exact = ReplacementPathOracle::build_exact(&g, &sources).flatten();
+    assert_eq!(bk.len(), exact.len());
+    for &s in &sources {
+        for t in 0..25 {
+            for e in g.edges() {
+                assert_eq!(bk.query(s, t, e), exact.query(s, t, e), "s={s} t={t} e={e}");
+            }
+        }
+    }
+}

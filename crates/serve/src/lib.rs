@@ -53,8 +53,8 @@ pub mod service;
 pub use loadgen::{random_queries, run_closed_loop, LoadConfig, LoadReport};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, MetricsSnapshot, ServiceMetrics};
 pub use protocol::{
-    format_answer, format_query, parse_answer, parse_request, validate_query, ProtocolError,
-    Request,
+    format_answer, format_query, format_weighted_answer, format_weighted_query, parse_answer,
+    parse_request, parse_weighted_answer, validate_query, ProtocolError, Request,
 };
 pub use service::{
     PendingBatch, Query, QueryService, RouteOracle, ServiceConfig, ShardedOracle,

@@ -4,31 +4,38 @@
 //! by its header line. Requests:
 //!
 //! ```text
-//! Q <source> <target> <u> <v>   one query avoiding edge (u, v); server replies with one line
+//! Q <source> <target> <u> <v>   one hop-metric query avoiding edge (u, v); one reply line
 //! B <k>                         batch header: exactly k `Q` lines follow; k reply lines
+//! QW <source> <target> <u> <v>  one *weighted* query, served by the weighted oracle
+//! BW <k>                        weighted batch header: exactly k `QW` lines follow
 //! STATS                         one reply line summarizing the service metrics
 //! QUIT                          close the connection
 //! ```
 //!
-//! Answers are a single token per query: a decimal distance, `INF` (the failure disconnects
-//! the target), or `NOSRC` (the queried source is not served by any shard). The grammar is
-//! deliberately tiny — `std::net` plus line buffering is the whole transport — but it is the
-//! real serving boundary: `examples/serve_tcp.rs` drives it across a localhost socket in CI.
+//! Answers are a single token per query: a decimal distance (hop count for `Q`/`B`, weight
+//! for `QW`/`BW`), `INF` (the failure disconnects the target), or `NOSRC` (the queried
+//! source is not served by any shard). The grammar is deliberately tiny — `std::net` plus
+//! line buffering is the whole transport — but it is the real serving boundary:
+//! `examples/serve_tcp.rs` drives it (both metrics) across a localhost socket in CI.
 
 use std::fmt;
 use std::str::FromStr;
 
-use msrp_graph::{Distance, Edge, INFINITE_DISTANCE};
+use msrp_graph::{Distance, Edge, Weight, INFINITE_DISTANCE, INFINITE_WEIGHT};
 
 use crate::service::Query;
 
 /// A parsed request line.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Request {
-    /// `Q s t u v` — answer one query.
+    /// `Q s t u v` — answer one hop-metric query.
     Query(Query),
     /// `B k` — a batch of `k` queries follows, one `Q` line each.
     Batch(usize),
+    /// `QW s t u v` — answer one weighted query (routed to the weighted oracle).
+    WeightedQuery(Query),
+    /// `BW k` — a weighted batch of `k` queries follows, one `QW` line each.
+    WeightedBatch(usize),
     /// `STATS` — report service metrics.
     Stats,
     /// `QUIT` — close the connection.
@@ -67,18 +74,23 @@ fn parse_token<T: FromStr>(token: Option<&str>, what: &str) -> Result<T, Protoco
 pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     let mut tokens = line.split_whitespace();
     let verb = tokens.next().ok_or_else(|| ProtocolError::new("empty request line"))?;
-    let request = match verb {
-        "Q" => {
-            let source = parse_token(tokens.next(), "source vertex")?;
-            let target = parse_token(tokens.next(), "target vertex")?;
-            let u = parse_token(tokens.next(), "edge endpoint")?;
-            let v: usize = parse_token(tokens.next(), "edge endpoint")?;
-            if u == v {
-                return Err(ProtocolError::new("avoided edge endpoints must differ"));
-            }
-            Request::Query(Query::new(source, target, Edge::new(u, v)))
+    let parse_query = |tokens: &mut std::str::SplitWhitespace<'_>| {
+        let source = parse_token(tokens.next(), "source vertex")?;
+        let target = parse_token(tokens.next(), "target vertex")?;
+        let u = parse_token(tokens.next(), "edge endpoint")?;
+        let v: usize = parse_token(tokens.next(), "edge endpoint")?;
+        if u == v {
+            // A self-loop edge key is unrepresentable (`Edge::new` would panic); reject at
+            // the parse boundary so no hostile line can reach that assertion.
+            return Err(ProtocolError::new("avoided edge endpoints must differ"));
         }
+        Ok(Query::new(source, target, Edge::new(u, v)))
+    };
+    let request = match verb {
+        "Q" => Request::Query(parse_query(&mut tokens)?),
+        "QW" => Request::WeightedQuery(parse_query(&mut tokens)?),
         "B" => Request::Batch(parse_token(tokens.next(), "batch size")?),
+        "BW" => Request::WeightedBatch(parse_token(tokens.next(), "batch size")?),
         "STATS" => Request::Stats,
         "QUIT" => Request::Quit,
         other => return Err(ProtocolError::new(format!("unknown verb `{other}`"))),
@@ -93,6 +105,12 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
 pub fn format_query(q: &Query) -> String {
     let (u, v) = q.avoid.endpoints();
     format!("Q {} {} {u} {v}", q.source, q.target)
+}
+
+/// Renders a query as a `QW` request line (without the newline): same ids, weighted metric.
+pub fn format_weighted_query(q: &Query) -> String {
+    let (u, v) = q.avoid.endpoints();
+    format!("QW {} {} {u} {v}", q.source, q.target)
 }
 
 /// Validates a parsed query's vertex ids against the served graph.
@@ -147,6 +165,30 @@ pub fn parse_answer(line: &str) -> Result<Option<Distance>, ProtocolError> {
     }
 }
 
+/// Renders one *weighted* answer token: `NOSRC`, `INF`, or the decimal weight (the `QW`/`BW`
+/// mirror of [`format_answer`]).
+pub fn format_weighted_answer(answer: Option<Weight>) -> String {
+    match answer {
+        None => "NOSRC".to_string(),
+        Some(INFINITE_WEIGHT) => "INF".to_string(),
+        Some(w) => w.to_string(),
+    }
+}
+
+/// Parses one weighted answer token (the inverse of [`format_weighted_answer`]).
+pub fn parse_weighted_answer(line: &str) -> Result<Option<Weight>, ProtocolError> {
+    match line.trim() {
+        "NOSRC" => Ok(None),
+        "INF" => Ok(Some(INFINITE_WEIGHT)),
+        token => token
+            .parse::<Weight>()
+            .ok()
+            .filter(|&w| w != INFINITE_WEIGHT)
+            .map(Some)
+            .ok_or_else(|| ProtocolError::new(format!("malformed weighted answer `{token}`"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +209,32 @@ mod tests {
         for line in ["", "Q 1 2 3", "Q 1 2 3 x", "Q 1 2 3 3", "B", "B -1", "FLY 1", "QUIT now"] {
             assert!(parse_request(line).is_err(), "line {line:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn weighted_requests_round_trip() {
+        let q = Query::new(4, 1, Edge::new(8, 3));
+        let line = format_weighted_query(&q);
+        assert_eq!(line, "QW 4 1 3 8");
+        assert_eq!(parse_request(&line), Ok(Request::WeightedQuery(q)));
+        assert_eq!(parse_request("BW 7"), Ok(Request::WeightedBatch(7)));
+        // The weighted verbs reject exactly the malformed shapes the hop-metric verbs do.
+        for line in ["QW 1 2 3", "QW 1 2 3 3", "QW 1 2 3 x", "BW", "BW -1", "QW 1 2 3 4 5"] {
+            assert!(parse_request(line).is_err(), "line {line:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn weighted_answers_round_trip() {
+        use msrp_graph::INFINITE_WEIGHT;
+        for answer in [None, Some(INFINITE_WEIGHT), Some(0), Some(u64::from(u32::MAX))] {
+            assert_eq!(parse_weighted_answer(&format_weighted_answer(answer)), Ok(answer));
+        }
+        assert!(parse_weighted_answer("x").is_err());
+        assert!(
+            parse_weighted_answer("18446744073709551615").is_err(),
+            "INFINITE_WEIGHT must be spelled INF"
+        );
     }
 
     #[test]

@@ -127,6 +127,22 @@ impl ShardedOracle {
         Self::from_shards(build_shards_csr(g, sources, params, shard_count))
     }
 
+    /// Builds `shard_count` shards with the real Bernstein–Karger preprocessing
+    /// (`msrp_oracle::build_bk_shards_csr`: heavy-path cover plus per-cut subtree searches,
+    /// one construction worker per shard over the caller's frozen view) and wires up the
+    /// routing table. Serves bit-for-bit the same answers as [`build_csr`](Self::build_csr)
+    /// and the `build_exact` route — only the preprocessing cost differs. `shard_count` is
+    /// clamped to `[1, σ]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the inputs [`ReplacementPathOracle::build_bk`] rejects (an out-of-range
+    /// source; duplicates are rejected by the routing table) and if a construction worker
+    /// panics.
+    pub fn build_bk_csr(g: &CsrGraph, sources: &[Vertex], shard_count: usize) -> Self {
+        Self::from_shards(msrp_oracle::build_bk_shards_csr(g, sources, shard_count))
+    }
+
     /// Wraps pre-built shards (which must cover disjoint source sets).
     ///
     /// # Panics
@@ -502,6 +518,18 @@ impl QueryService {
         config: &ServiceConfig,
     ) -> Self {
         Self::start(ShardedOracle::build_csr(g, sources, params, shards), config)
+    }
+
+    /// Convenience constructor serving from Bernstein–Karger-built shards
+    /// ([`ShardedOracle::build_bk_csr`]): same pool, queue, metrics, and answers as the
+    /// other routes — only the shard preprocessing differs.
+    pub fn build_and_start_bk_csr(
+        g: &CsrGraph,
+        sources: &[Vertex],
+        shards: usize,
+        config: &ServiceConfig,
+    ) -> Self {
+        Self::start(ShardedOracle::build_bk_csr(g, sources, shards), config)
     }
 }
 

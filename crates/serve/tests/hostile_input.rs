@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 
 use msrp_core::MsrpParams;
 use msrp_graph::generators::{connected_gnm, weighted_connected_gnm};
-use msrp_graph::Edge;
+use msrp_graph::{Edge, Graph};
 use msrp_serve::{
     parse_request, validate_query, Query, QueryService, Request, ServiceConfig, ShardedOracle,
 };
@@ -31,13 +31,15 @@ fn service_under_test() -> QueryService {
 /// a grammatically valid `Q` line whose ids may still be wildly out of range (the shape the
 /// headline bug was triggered by).
 fn hostile_line(rng: &mut StdRng) -> String {
-    let verb = match rng.gen_range(0..12usize) {
-        0..=5 => "Q",
-        6 => "B",
-        7 => "STATS",
-        8 => "QUIT",
-        9 => "q",
-        10 => "FLY",
+    let verb = match rng.gen_range(0..14usize) {
+        0..=4 => "Q",
+        5..=6 => "QW",
+        7 => "B",
+        8 => "BW",
+        9 => "STATS",
+        10 => "QUIT",
+        11 => "q",
+        12 => "FLY",
         _ => "",
     };
     let token = |rng: &mut StdRng| -> String {
@@ -72,8 +74,12 @@ fn fuzzed_lines_never_kill_a_worker() {
         let line = hostile_line(&mut rng);
         match parse_request(&line) {
             Err(_) => rejected_lines += 1,
-            Ok(Request::Stats) | Ok(Request::Quit) | Ok(Request::Batch(_)) => {}
-            Ok(Request::Query(q)) => {
+            Ok(Request::Stats)
+            | Ok(Request::Quit)
+            | Ok(Request::Batch(_))
+            | Ok(Request::WeightedBatch(_)) => {}
+            // The unweighted service under test treats `QW` ids exactly like `Q` ids.
+            Ok(Request::Query(q)) | Ok(Request::WeightedQuery(q)) => {
                 parsed_queries += 1;
                 if validate_query(&q, N).is_err() {
                     rejected_ids += 1;
@@ -144,13 +150,101 @@ fn weighted_service_survives_the_same_hostility() {
     let mut fuzz_rng = StdRng::seed_from_u64(0xBEEF);
     let mut batch = Vec::new();
     for _ in 0..1500 {
-        if let Ok(Request::Query(q)) = parse_request(&hostile_line(&mut fuzz_rng)) {
-            batch.push(q);
+        // The weighted service serves the `QW` verb, but any parsed query shape must be
+        // equally survivable — both verbs feed the same Query ids.
+        match parse_request(&hostile_line(&mut fuzz_rng)) {
+            Ok(Request::WeightedQuery(q)) | Ok(Request::Query(q)) => batch.push(q),
+            _ => {}
         }
     }
     let reference: Vec<_> = batch.iter().map(|&q| service.oracle().query(q)).collect();
     assert_eq!(service.answer_batch(&batch), reference);
     let good = Query::new(0, N - 1, Edge::new(0, 1));
     assert_eq!(service.answer_batch(&[good])[0], service.oracle().query(good));
+    service.shutdown();
+}
+
+/// The BK-built service under the same storm: a graph with isolated vertices and a pendant
+/// bridge, served from `ShardedOracle::build_bk_csr` shards. No fuzzed line may kill a
+/// worker; unroutable ids answer `(None, None)`; answers stay bit-for-bit equal to the
+/// `build_exact` reference throughout.
+#[test]
+fn bk_built_service_survives_hostility() {
+    // 0..40 form a connected gnm component; 40..48 stay isolated (hostile "query an
+    // isolated vertex" territory). Sources include an isolated vertex on purpose.
+    let mut rng = StdRng::seed_from_u64(73);
+    let core = connected_gnm(40, 100, &mut rng).unwrap();
+    let mut g = Graph::new(N);
+    for e in core.edges() {
+        let (u, v) = e.endpoints();
+        g.add_edge(u, v).unwrap();
+    }
+    let sources = [0usize, 16, 32, 44]; // 44 is isolated: every query from it is ∞ or local
+    let csr = g.freeze();
+    let service = QueryService::start(
+        ShardedOracle::build_bk_csr(&csr, &sources, 2),
+        &ServiceConfig { workers: 3 },
+    );
+    let reference = msrp_oracle::ReplacementPathOracle::build_exact_csr(&csr, &sources);
+
+    // Targeted hostile shapes first: out-of-range ids, non-tree edges, absent edges between
+    // components, self-loops (rejected at parse), and queries on isolated vertices.
+    for line in ["Q 0 5 7 7", "QW 0 5 7 7", "Q 1 2", "BW -9", "QW x 1 2 3"] {
+        assert!(parse_request(line).is_err(), "line {line:?} must be rejected at parse");
+    }
+    let absent_edge = Edge::new(0, 41); // crosses into the isolated block: never a graph edge
+    let hostile = [
+        Query::new(0, N, Edge::new(0, 1)), // first out-of-range target
+        Query::new(0, 999_999_999, Edge::new(0, 1)), // far out-of-range target
+        Query::new(usize::MAX, 0, Edge::new(0, 1)), // out-of-range source
+        Query::new(0, 0, Edge::new(N - 1, N)), // out-of-range endpoint
+        Query::new(0, 0, Edge::new(usize::MAX - 1, usize::MAX)), // both endpoints hostile
+    ];
+    for q in hostile {
+        assert_eq!(service.oracle().query_routed(q), (None, None), "q={q:?}");
+    }
+    let in_range = [
+        Query::new(44, 3, Edge::new(0, 1)), // isolated source: base distance is ∞
+        Query::new(0, 45, Edge::new(0, 1)), // isolated target
+        Query::new(44, 45, absent_edge),    // isolated to isolated, absent edge
+        Query::new(0, 3, absent_edge),      // absent (non-tree, non-graph) edge
+        Query::new(16, 39, Edge::new(41, 47)), // edge fully inside the isolated block
+    ];
+    for q in in_range {
+        assert_eq!(
+            service.answer_batch(&[q])[0],
+            reference.replacement_distance(q.source, q.target, q.avoid),
+            "q={q:?}"
+        );
+    }
+
+    // Then the seeded storm, unvalidated, straight at the workers.
+    let mut fuzz_rng = StdRng::seed_from_u64(0xB00C);
+    let mut batch = Vec::new();
+    for _ in 0..2000 {
+        match parse_request(&hostile_line(&mut fuzz_rng)) {
+            Ok(Request::Query(q)) | Ok(Request::WeightedQuery(q)) => batch.push(q),
+            _ => {}
+        }
+        if batch.len() >= 64 {
+            for (q, a) in batch.iter().zip(service.answer_batch(&batch)) {
+                let expected = if q.target >= N || q.avoid.hi() >= N {
+                    None
+                } else {
+                    reference.replacement_distance(q.source, q.target, q.avoid)
+                };
+                assert_eq!(a, expected, "q={q:?}");
+            }
+            batch.clear();
+        }
+    }
+    // Every worker survived and still answers exactly.
+    let good = Query::new(0, 39, Edge::new(0, 1));
+    for _ in 0..service.worker_count() * 2 {
+        assert_eq!(
+            service.answer_batch(&[good])[0],
+            reference.replacement_distance(0, 39, Edge::new(0, 1))
+        );
+    }
     service.shutdown();
 }

@@ -10,23 +10,26 @@
 //! ```
 //!
 //! The default mode is what CI runs: it starts the server on an OS-assigned localhost port,
-//! connects a client over the real socket, issues single and batched queries, cross-checks
-//! every answer against a single-threaded in-process oracle, and shuts down cleanly. The
-//! `--serve` / `--client` pair runs the same code split across two processes.
+//! connects a client over the real socket, issues single and batched queries — hop-metric
+//! `Q`/`B` lines served from Bernstein–Karger-built shards and weighted `QW`/`BW` lines
+//! served from the weighted oracle — cross-checks every answer against single-threaded
+//! in-process oracles, and shuts down cleanly. The `--serve` / `--client` pair runs the
+//! same code split across two processes.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 
 use msrp::core::MsrpParams;
-use msrp::graph::generators::connected_gnm;
-use msrp::graph::Graph;
-use msrp::oracle::ReplacementPathOracle;
+use msrp::graph::generators::{connected_gnm, weighted_connected_gnm};
+use msrp::graph::{Graph, WeightedCsrGraph};
+use msrp::oracle::{ReplacementPathOracle, WeightedReplacementOracle};
 use msrp::serve::{
-    format_answer, format_query, parse_answer, parse_request, random_queries, validate_query,
-    QueryService, Request, ServiceConfig,
+    format_answer, format_query, format_weighted_answer, format_weighted_query, parse_answer,
+    parse_request, parse_weighted_answer, random_queries, validate_query, QueryService, Request,
+    ServiceConfig, WeightedShardedOracle,
 };
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// The demo workload is pinned so server and client (possibly separate processes) agree on
 /// the graph and sources without exchanging them.
@@ -36,13 +39,25 @@ const M: usize = 240;
 const SOURCES: [usize; 4] = [0, 24, 48, 72];
 const SHARDS: usize = 2;
 const WORKERS: usize = 2;
-/// Largest batch a client may request in one `B k` header; anything bigger is refused
-/// before any allocation happens (the header size comes straight off the wire).
+/// The weighted demo graph served behind the `QW`/`BW` verbs (its own seed stream, its own
+/// dimensions, so a confused client cannot mistake one metric's ids for the other's).
+const WEIGHTED_SEED: u64 = 977;
+const WN: usize = 64;
+const WM: usize = 160;
+const W_MAX_WEIGHT: u64 = 1000;
+const WSOURCES: [usize; 3] = [0, 21, 42];
+/// Largest batch a client may request in one `B k` / `BW k` header; anything bigger is
+/// refused before any allocation happens (the header size comes straight off the wire).
 const MAX_BATCH: usize = 4096;
 
 fn demo_graph() -> Graph {
     let mut rng = StdRng::seed_from_u64(GRAPH_SEED);
     connected_gnm(N, M, &mut rng).expect("valid demo parameters")
+}
+
+fn weighted_demo_graph() -> WeightedCsrGraph {
+    let mut rng = StdRng::seed_from_u64(WEIGHTED_SEED);
+    weighted_connected_gnm(WN, WM, W_MAX_WEIGHT, &mut rng).expect("valid demo parameters").freeze()
 }
 
 /// A batch line is either the index of a validated query or an error to report in place.
@@ -51,14 +66,84 @@ enum BatchSlot {
     Invalid(String),
 }
 
-/// Answers one connection's requests until `QUIT` or EOF.
+/// What became of reading a batch's query lines.
+enum BatchOutcome {
+    /// All `k` lines read; slots and the validated queries to answer.
+    Complete(Vec<BatchSlot>, Vec<msrp::serve::Query>),
+    /// A grammatically broken or wrong-verb line: fatal for the connection.
+    Broken,
+    /// The client hung up mid-batch.
+    Eof,
+}
+
+/// Reads the `k` query lines of a length-delimited batch (`B` expects `Q` lines, `BW`
+/// expects `QW` lines), validating every id against `vertex_count`. Lines that fail id
+/// validation become in-place `ERR` slots; a grammatically broken or wrong-verb line is
+/// [`BatchOutcome::Broken`] (the caller errs and closes the connection).
+fn read_batch(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    k: usize,
+    weighted: bool,
+    vertex_count: usize,
+) -> std::io::Result<BatchOutcome> {
+    let mut slots = Vec::with_capacity(k);
+    let mut batch = Vec::with_capacity(k);
+    for _ in 0..k {
+        line.clear();
+        if reader.read_line(line)? == 0 {
+            return Ok(BatchOutcome::Eof);
+        }
+        let parsed = match (parse_request(line.trim_end()), weighted) {
+            (Ok(Request::Query(q)), false) | (Ok(Request::WeightedQuery(q)), true) => Some(q),
+            _ => None,
+        };
+        match parsed {
+            Some(q) => match validate_query(&q, vertex_count) {
+                Ok(()) => {
+                    slots.push(BatchSlot::Query(batch.len()));
+                    batch.push(q);
+                }
+                Err(e) => slots.push(BatchSlot::Invalid(e.to_string())),
+            },
+            None => return Ok(BatchOutcome::Broken),
+        }
+    }
+    Ok(BatchOutcome::Complete(slots, batch))
+}
+
+/// Writes one reply line per batch slot, in order.
+fn write_batch_replies<A: Copy>(
+    writer: &mut BufWriter<TcpStream>,
+    slots: Vec<BatchSlot>,
+    answers: &[Option<A>],
+    format: impl Fn(Option<A>) -> String,
+) -> std::io::Result<()> {
+    for slot in slots {
+        match slot {
+            BatchSlot::Query(i) => writeln!(writer, "{}", format(answers[i]))?,
+            BatchSlot::Invalid(e) => writeln!(writer, "ERR {e}")?,
+        }
+    }
+    Ok(())
+}
+
+/// Answers one connection's requests until `QUIT` or EOF. `Q`/`B` lines are served by the
+/// hop-metric service (Bernstein–Karger-built shards), `QW`/`BW` lines by the weighted
+/// service; both metrics share the connection, the `ERR` validation, and the batch limit.
 ///
-/// Every parsed query is validated against the served graph's vertex count *before* it is
+/// Every parsed query is validated against its graph's vertex count *before* it is
 /// enqueued; an out-of-range id draws an `ERR` reply instead of reaching the oracle's
 /// panicking array accesses (the regression exercised by the client below: a line like
-/// `Q 0 999999999 0 1` used to kill the worker thread that dequeued it).
-fn handle_connection(stream: TcpStream, service: &QueryService) -> std::io::Result<()> {
+/// `Q 0 999999999 0 1` used to kill the worker thread that dequeued it). The weighted verbs
+/// get the identical treatment — `hostile_input.rs` fuzzes both.
+fn handle_connection(
+    stream: TcpStream,
+    service: &QueryService,
+    wservice: &QueryService<WeightedShardedOracle>,
+) -> std::io::Result<()> {
     let vertex_count = service.oracle().vertex_count();
+    let weighted_vertex_count = wservice.oracle().vertex_count();
     let mut writer = BufWriter::new(stream.try_clone()?);
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
@@ -75,7 +160,14 @@ fn handle_connection(stream: TcpStream, service: &QueryService) -> std::io::Resu
                 }
                 Err(e) => writeln!(writer, "ERR {e}")?,
             },
-            Ok(Request::Batch(k)) if k > MAX_BATCH => {
+            Ok(Request::WeightedQuery(q)) => match validate_query(&q, weighted_vertex_count) {
+                Ok(()) => {
+                    let answers = wservice.answer_batch(&[q]);
+                    writeln!(writer, "{}", format_weighted_answer(answers[0]))?;
+                }
+                Err(e) => writeln!(writer, "ERR {e}")?,
+            },
+            Ok(Request::Batch(k)) | Ok(Request::WeightedBatch(k)) if k > MAX_BATCH => {
                 // The client may already have pipelined its k query lines; answering them
                 // as top-level requests would desynchronize every later reply. An
                 // over-limit header is therefore fatal for the connection, like a
@@ -88,33 +180,30 @@ fn handle_connection(stream: TcpStream, service: &QueryService) -> std::io::Resu
                 // Length-delimited batch: exactly k query lines follow the header. Lines
                 // that fail id validation get an in-place ERR reply (still one reply line
                 // per batch line); only a grammatically broken line aborts the connection.
-                let mut slots = Vec::with_capacity(k);
-                let mut batch = Vec::with_capacity(k);
-                for _ in 0..k {
-                    line.clear();
-                    if reader.read_line(&mut line)? == 0 {
+                match read_batch(&mut reader, &mut line, k, false, vertex_count)? {
+                    BatchOutcome::Complete(slots, batch) => {
+                        let answers = service.answer_batch(&batch);
+                        write_batch_replies(&mut writer, slots, &answers, format_answer)?;
+                    }
+                    BatchOutcome::Eof => return Ok(()),
+                    BatchOutcome::Broken => {
+                        writeln!(writer, "ERR batch lines must be Q queries")?;
+                        writer.flush()?;
                         return Ok(());
                     }
-                    match parse_request(line.trim_end()) {
-                        Ok(Request::Query(q)) => match validate_query(&q, vertex_count) {
-                            Ok(()) => {
-                                slots.push(BatchSlot::Query(batch.len()));
-                                batch.push(q);
-                            }
-                            Err(e) => slots.push(BatchSlot::Invalid(e.to_string())),
-                        },
-                        _ => {
-                            writeln!(writer, "ERR batch lines must be Q queries")?;
-                            writer.flush()?;
-                            return Ok(());
-                        }
-                    }
                 }
-                let answers = service.answer_batch(&batch);
-                for slot in slots {
-                    match slot {
-                        BatchSlot::Query(i) => writeln!(writer, "{}", format_answer(answers[i]))?,
-                        BatchSlot::Invalid(e) => writeln!(writer, "ERR {e}")?,
+            }
+            Ok(Request::WeightedBatch(k)) => {
+                match read_batch(&mut reader, &mut line, k, true, weighted_vertex_count)? {
+                    BatchOutcome::Complete(slots, batch) => {
+                        let answers = wservice.answer_batch(&batch);
+                        write_batch_replies(&mut writer, slots, &answers, format_weighted_answer)?;
+                    }
+                    BatchOutcome::Eof => return Ok(()),
+                    BatchOutcome::Broken => {
+                        writeln!(writer, "ERR batch lines must be QW queries")?;
+                        writer.flush()?;
+                        return Ok(());
                     }
                 }
             }
@@ -137,24 +226,38 @@ fn handle_connection(stream: TcpStream, service: &QueryService) -> std::io::Resu
     }
 }
 
-fn start_service() -> QueryService {
-    let g = demo_graph();
-    QueryService::build_and_start(
+/// Starts both metric services: the hop metric from Bernstein–Karger-built shards (the real
+/// BK preprocessing, serving bit-for-bit what `build`/`build_exact` shards would), and the
+/// weighted metric from Dijkstra-tree shards.
+fn start_services() -> (QueryService, QueryService<WeightedShardedOracle>) {
+    let g = demo_graph().freeze();
+    let service = QueryService::build_and_start_bk_csr(
         &g,
         &SOURCES,
-        &MsrpParams::default(),
         SHARDS,
         &ServiceConfig { workers: WORKERS },
-    )
+    );
+    let wservice = QueryService::build_and_start_weighted(
+        &weighted_demo_graph(),
+        &WSOURCES,
+        SHARDS,
+        &ServiceConfig { workers: WORKERS },
+    );
+    (service, wservice)
 }
 
 /// `--serve`: accept connections forever (or `max_conns` of them), one thread each.
-fn serve(listener: TcpListener, service: &QueryService, max_conns: Option<usize>) {
+fn serve(
+    listener: TcpListener,
+    service: &QueryService,
+    wservice: &QueryService<WeightedShardedOracle>,
+    max_conns: Option<usize>,
+) {
     std::thread::scope(|scope| {
         for (accepted, stream) in listener.incoming().enumerate() {
             let stream = stream.expect("accept failed");
             scope.spawn(move || {
-                if let Err(e) = handle_connection(stream, service) {
+                if let Err(e) = handle_connection(stream, service, wservice) {
                     eprintln!("connection error: {e}");
                 }
             });
@@ -242,6 +345,79 @@ fn run_client(addr: &str) {
             "batched socket answer for {q:?} must match the in-process oracle"
         );
     }
+    // --- The weighted wire protocol: QW/BW lines served by the weighted oracle. ---
+    let wg = weighted_demo_graph();
+    let wreference = WeightedReplacementOracle::build(&wg, &WSOURCES);
+    let wedges: Vec<_> = wg.edge_vec().iter().map(|&(e, _)| e).collect();
+    let mut wrng = StdRng::seed_from_u64(8);
+    let wqueries: Vec<msrp::serve::Query> = (0..24)
+        .map(|_| {
+            msrp::serve::Query::new(
+                WSOURCES[wrng.gen_range(0..WSOURCES.len())],
+                wrng.gen_range(0..WN),
+                wedges[wrng.gen_range(0..wedges.len())],
+            )
+        })
+        .collect();
+    let read_weighted_answer = |reader: &mut BufReader<TcpStream>, line: &mut String| {
+        line.clear();
+        reader.read_line(line).expect("server replied");
+        parse_weighted_answer(line).expect("well-formed weighted answer")
+    };
+    // Single weighted queries.
+    for q in &wqueries[..8] {
+        writeln!(writer, "{}", format_weighted_query(q)).expect("send weighted query");
+        let answer = read_weighted_answer(&mut reader, &mut line);
+        assert_eq!(
+            answer,
+            wreference.replacement_distance(q.source, q.target, q.avoid),
+            "weighted socket answer for {q:?} must match the in-process oracle"
+        );
+    }
+    // Hostile weighted lines draw per-line ERR replies — the same validation boundary the
+    // hop-metric verbs get, exercised over the real socket.
+    let hostile_weighted = [
+        "QW 0 999999999 0 1".to_string(),            // target out of range
+        format!("QW 0 1 0 {WN}"),                    // endpoint just past the weighted bound
+        "QW 18446744073709551615 1 0 1".to_string(), // u64::MAX source
+        "QW 0 1 7 7".to_string(),                    // self-loop edge key, rejected at parse
+    ];
+    for hostile in &hostile_weighted {
+        writeln!(writer, "{hostile}").expect("send hostile weighted line");
+        let reply = read_raw(&mut reader, &mut line);
+        assert!(reply.starts_with("ERR"), "line {hostile:?} must draw ERR, got {reply:?}");
+    }
+    // A weighted batch mixing valid and out-of-range lines: one reply per line, in order.
+    writeln!(writer, "BW 3").expect("send weighted batch header");
+    writeln!(writer, "{}", format_weighted_query(&wqueries[0])).expect("send valid BW line");
+    writeln!(writer, "QW 0 999999999 0 1").expect("send hostile BW line");
+    writeln!(writer, "{}", format_weighted_query(&wqueries[1])).expect("send valid BW line");
+    let first = read_weighted_answer(&mut reader, &mut line);
+    assert_eq!(
+        first,
+        wreference.replacement_distance(wqueries[0].source, wqueries[0].target, wqueries[0].avoid)
+    );
+    let second = read_raw(&mut reader, &mut line);
+    assert!(second.starts_with("ERR"), "hostile BW line must draw ERR, got {second:?}");
+    let third = read_weighted_answer(&mut reader, &mut line);
+    assert_eq!(
+        third,
+        wreference.replacement_distance(wqueries[1].source, wqueries[1].target, wqueries[1].avoid)
+    );
+    // One length-delimited weighted batch for the rest.
+    let wbatch = &wqueries[8..];
+    writeln!(writer, "BW {}", wbatch.len()).expect("send weighted batch header");
+    for q in wbatch {
+        writeln!(writer, "{}", format_weighted_query(q)).expect("send weighted batch line");
+    }
+    for q in wbatch {
+        let answer = read_weighted_answer(&mut reader, &mut line);
+        assert_eq!(
+            answer,
+            wreference.replacement_distance(q.source, q.target, q.avoid),
+            "batched weighted socket answer for {q:?} must match the in-process oracle"
+        );
+    }
     // Metrics over the wire.
     writeln!(writer, "STATS").expect("send stats");
     line.clear();
@@ -258,12 +434,14 @@ fn run_client(addr: &str) {
     assert_eq!(eof, 0, "the server must close the connection after an over-limit header");
 
     println!(
-        "client verified {} answers ({} single + {} batched) against the in-process oracle, \
-         and {} hostile lines drew ERR replies without killing a worker",
+        "client verified {} hop-metric answers ({} single + {} batched) and {} weighted \
+         answers against the in-process oracles, and {} hostile lines drew ERR replies \
+         without killing a worker",
         queries.len(),
         16,
         batch.len(),
-        hostile_lines.len() + 2
+        wqueries.len(),
+        hostile_lines.len() + hostile_weighted.len() + 4
     );
 }
 
@@ -272,10 +450,10 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("--serve") => {
             let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7411");
-            let service = start_service();
+            let (service, wservice) = start_services();
             let listener = TcpListener::bind(addr).expect("bind server address");
             println!("serving replacement-path queries on {addr} (Ctrl-C to stop)");
-            serve(listener, &service, None);
+            serve(listener, &service, &wservice, None);
         }
         Some("--client") => {
             let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7411");
@@ -287,23 +465,28 @@ fn main() {
         }
         None => {
             // Self-contained smoke run: server thread + client, one real localhost socket.
-            let service = start_service();
+            let (service, wservice) = start_services();
             let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
             let addr = listener.local_addr().expect("local addr").to_string();
             println!(
-                "demo server on {addr}: σ={} sources, {SHARDS} shards, {WORKERS} workers",
-                SOURCES.len()
+                "demo server on {addr}: σ={} hop-metric sources (BK-built shards) + σ={} \
+                 weighted sources, {SHARDS} shards, {WORKERS} workers",
+                SOURCES.len(),
+                WSOURCES.len()
             );
             std::thread::scope(|scope| {
                 let service = &service;
-                let server = scope.spawn(move || serve(listener, service, Some(1)));
+                let wservice = &wservice;
+                let server = scope.spawn(move || serve(listener, service, wservice, Some(1)));
                 run_client(&addr);
                 server.join().expect("server thread");
             });
             let metrics = service.shutdown();
+            let wmetrics = wservice.shutdown();
             println!(
-                "served {} queries over TCP; batch latency [{}]",
+                "served {} hop-metric + {} weighted queries over TCP; batch latency [{}]",
                 metrics.queries_total,
+                wmetrics.queries_total,
                 metrics.batch_latency.summary()
             );
         }

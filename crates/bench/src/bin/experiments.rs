@@ -1,9 +1,9 @@
-//! Experiment harness: regenerates the derived tables E1–E10 described in `EXPERIMENTS.md`.
+//! Experiment harness: regenerates the derived tables E1–E11 described in `EXPERIMENTS.md`.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run -p msrp-bench --release --bin experiments -- [e1|...|e10|all] [--quick] [--list]
+//! cargo run -p msrp-bench --release --bin experiments -- [e1|...|e11|all] [--quick] [--list]
 //! ```
 //!
 //! `--quick` shrinks the instance sizes so that every experiment finishes in a few seconds
@@ -22,7 +22,9 @@ use msrp_core::{
     MsrpParams, SourceToLandmarkStrategy,
 };
 use msrp_graph::{bfs_avoiding_edge, DijkstraScratch, Graph, ShortestPathTree};
-use msrp_netsim::{run_simulation, run_simulation_with_service, SimulationConfig};
+use msrp_netsim::{
+    run_churn, run_simulation, run_simulation_with_service, ChurnConfig, SimulationConfig,
+};
 use msrp_oracle::ReplacementPathOracle;
 use msrp_rpath::{
     single_source_brute_force, single_source_brute_force_weighted, single_source_via_single_pair,
@@ -32,7 +34,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Every experiment id with its one-line description (printed by `--list`).
-const EXPERIMENTS: [(&str, &str); 10] = [
+const EXPERIMENTS: [(&str, &str); 11] = [
     ("e1", "single-source scaling (Theorem 14) vs the two O~(mn) baselines"),
     ("e2", "multi-source scaling in sigma (Theorem 1/26) on a fixed graph"),
     ("e3", "exactness rate of the randomized algorithm, paper vs scaled constants"),
@@ -43,6 +45,7 @@ const EXPERIMENTS: [(&str, &str); 10] = [
     ("e8", "sharded query service: parallel build, concurrent throughput, latency"),
     ("e9", "weighted MSRP: subtree-Dijkstra solver vs weighted brute force (Section 9)"),
     ("e10", "Bernstein-Karger preprocessing vs per-tree-edge brute force, tables compared"),
+    ("e11", "live churn: epoch-swap serving, incremental vs full rebuild, zero mismatches"),
 ];
 
 fn main() {
@@ -98,6 +101,9 @@ fn main() {
     }
     if run("e10") {
         experiment_e10(quick);
+    }
+    if run("e11") {
+        experiment_e11(quick);
     }
 }
 
@@ -500,6 +506,67 @@ fn experiment_e10(quick: bool) {
                 format!("{:.2}x", exact_secs / bk_secs.max(1e-9)),
                 bk.entry_count().to_string(),
                 all_equal.to_string(),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// E11 — live churn: seed-pinned failure/repair events streamed at a running epoch-swapping
+/// service. Every batch is validated against per-epoch avoiding-BFS recompute (the
+/// `mismatches` column must be 0 on every row), every incremental rebuild is differentially
+/// pinned to a from-scratch build, and the work/time columns quantify the incremental win.
+fn experiment_e11(quick: bool) {
+    println!("\n=== E11: live churn — epoch-swap serving, incremental vs full rebuild ===");
+    let sizes: &[usize] = if quick { &[48, 64] } else { &[64, 128, 256] };
+    let events = if quick { 8 } else { 16 };
+    let sigma = 4;
+    let mut table = Table::new([
+        "kind",
+        "n",
+        "events",
+        "queries",
+        "mismatches",
+        "src reused/patched/rebuilt",
+        "cuts redone/total",
+        "inc (s)",
+        "full (s)",
+        "stale p99",
+        "inc win",
+    ]);
+    for kind in [WorkloadKind::SparseRandom, WorkloadKind::Grid] {
+        for &n in sizes {
+            let g = standard_graph(kind, n, 17);
+            let config = ChurnConfig {
+                gateways: evenly_spaced_sources(g.vertex_count(), sigma),
+                events,
+                batches_in_flight: 3,
+                batches_settled: 2,
+                batch_size: 16,
+                shards: 2,
+                workers: 2,
+                seed: 1000 + n as u64,
+                verify_full: true,
+            };
+            let report = run_churn(&g, &config);
+            assert_eq!(report.mismatched_batches, 0, "churn answers must be exact");
+            assert!(report.incremental_win(), "incremental must beat full rebuild");
+            let inc = &report.incremental;
+            table.add_row([
+                kind.label().to_string(),
+                g.vertex_count().to_string(),
+                format!("{} ({} repairs)", report.events, report.repairs),
+                report.total_queries.to_string(),
+                report.mismatched_batches.to_string(),
+                format!(
+                    "{}/{}/{} of {}",
+                    inc.sources_reused, inc.sources_patched, inc.sources_rebuilt, inc.sources_total
+                ),
+                format!("{}/{}", inc.cuts_recomputed, inc.cuts_total),
+                format!("{:.3}", report.incremental_rebuild_time.as_secs_f64()),
+                format!("{:.3}", report.full_rebuild_time.as_secs_f64()),
+                format!("{:.1?}", report.staleness.p99()),
+                report.incremental_win().to_string(),
             ]);
         }
     }

@@ -21,6 +21,7 @@
 //!   the bound Bernstein–Karger charge their per-path tables against. The property suite
 //!   (`tests/path_cover_properties.rs`) pins this on seeded random trees.
 
+use crate::edge::Edge;
 use crate::graph::Vertex;
 use crate::tree::ShortestPathTree;
 
@@ -190,6 +191,23 @@ impl TreePathCover {
         let (pa, pv) = (self.pre[a], self.pre[v]);
         pa != NONE && pv != NONE && pa <= pv && pv < pa + self.size[a]
     }
+
+    /// `true` when either endpoint of `e` lies in the subtree of `a` — two `O(1)` interval
+    /// tests.
+    ///
+    /// This is the membership query incremental rebuilds hang invalidation on: the
+    /// replacement table of the cut below `a` is a function of the seeds and the subtree-
+    /// internal search, i.e. only of edges with at least one endpoint inside the subtree of
+    /// `a`. An edge for which this returns `false` cannot change that cut's rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or an endpoint of `e` is at least the tree's vertex count (same
+    /// contract as [`in_subtree`](Self::in_subtree)).
+    #[inline]
+    pub fn edge_touches_subtree(&self, a: Vertex, e: Edge) -> bool {
+        self.in_subtree(a, e.lo()) || self.in_subtree(a, e.hi())
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +290,23 @@ mod tests {
             assert!(!cover.in_subtree(0, v));
             assert!(!cover.in_subtree(v, v));
         }
+    }
+
+    #[test]
+    fn edge_membership_matches_endpoint_ancestry() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 3), (2, 5), (5, 6)])
+            .unwrap();
+        let (tree, cover) = cover_of(&g, 0);
+        for a in 0..7 {
+            for e in g.edges() {
+                let expected = [e.lo(), e.hi()].iter().any(|&v| {
+                    tree.is_reachable(v) && tree.is_reachable(a) && tree.is_ancestor(a, v)
+                });
+                assert_eq!(cover.edge_touches_subtree(a, e), expected, "a={a} e={e:?}");
+            }
+        }
+        // An edge fully outside a deep subtree never touches it.
+        assert!(!cover.edge_touches_subtree(5, crate::Edge::new(0, 1)));
     }
 
     #[test]

@@ -7,14 +7,19 @@
 //!
 //! * [`vickrey`] — VCG payments for the edges of a shortest path;
 //! * [`simulation`] — a seeded single-link-failure simulation comparing oracle-based recovery
-//!   against recomputation from scratch (experiment E7).
+//!   against recomputation from scratch (experiment E7);
+//! * [`churn`] — the live-churn driver (experiment E11): failure/repair events streamed at a
+//!   running epoch-swapping service, with every batch validated against per-epoch ground
+//!   truth and incremental rebuilds differentially pinned to from-scratch builds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod simulation;
 pub mod vickrey;
 
+pub use churn::{run_churn, ChurnConfig, ChurnReport};
 pub use simulation::{
     run_simulation, run_simulation_weighted, run_simulation_with_service, FailureEvent,
     SimulationConfig, SimulationReport, WeightedSimulationReport,

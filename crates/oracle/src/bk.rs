@@ -172,6 +172,34 @@ impl BkScratch {
     }
 }
 
+/// Solves the single cut below tree edge `(p, c)` and writes its column of `out`: entry
+/// `(t, dist(c) - 1)` for every `t` in the subtree of `c`, `INFINITE_DISTANCE` when the cut
+/// is a bridge. Writes are unconditional, so the helper serves both fresh construction
+/// (entries start infinite) and the incremental patcher (entries may hold a stale finite
+/// value from the previous epoch).
+pub(crate) fn solve_cut_into(
+    g: &CsrGraph,
+    tree: &ShortestPathTree,
+    cover: &TreePathCover,
+    scratch: &mut BkScratch,
+    out: &mut SourceReplacementDistances,
+    p: Vertex,
+    c: Vertex,
+) {
+    let pos = tree.distance_or_infinite(c) as usize - 1;
+    if scratch.run_cut(g, tree, cover, p, c) {
+        for &t in cover.descendants(c) {
+            out.set(t, pos, scratch.dist[t]);
+        }
+        scratch.reset();
+    } else {
+        // Bridge: the failure disconnects the whole subtree.
+        for &t in cover.descendants(c) {
+            out.set(t, pos, INFINITE_DISTANCE);
+        }
+    }
+}
+
 /// The Bernstein–Karger replacement table for one source: walks every cover path of `cover`
 /// top to bottom and solves each tree-edge cut with one multi-seed subtree BFS, filling the
 /// same row layout the brute force fills — exactly (see the module docs for the identity).
@@ -199,16 +227,7 @@ pub fn bk_replacement_distances(
                 Some(p) => p,
                 None => continue, // c is the root: no edge above it
             };
-            let pos = tree.distance_or_infinite(c) as usize - 1;
-            if scratch.run_cut(g, tree, cover, p, c) {
-                for &t in cover.descendants(c) {
-                    let d = scratch.dist[t];
-                    if d != INFINITE_DISTANCE {
-                        out.set(t, pos, d);
-                    }
-                }
-                scratch.reset();
-            }
+            solve_cut_into(g, tree, cover, scratch, &mut out, p, c);
         }
     }
     out

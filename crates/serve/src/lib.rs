@@ -45,12 +45,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod epoch;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
 pub mod service;
 
-pub use loadgen::{random_queries, run_closed_loop, LoadConfig, LoadReport};
+pub use epoch::{Epoch, EpochOracle};
+pub use loadgen::{random_queries, run_closed_loop, run_closed_loop_on, LoadConfig, LoadReport};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, MetricsSnapshot, ServiceMetrics};
 pub use protocol::{
     format_answer, format_query, format_weighted_answer, format_weighted_query, parse_answer,

@@ -16,10 +16,10 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use msrp_graph::{Graph, Vertex};
+use msrp_graph::{Distance, Graph, Vertex};
 
 use crate::metrics::{HistogramSnapshot, LatencyHistogram};
-use crate::service::{Query, QueryService};
+use crate::service::{Query, QueryService, RouteOracle};
 
 /// Configuration of a load-generation run.
 #[derive(Clone, Debug)]
@@ -108,8 +108,26 @@ fn client_seed(seed: u64, client: u64) -> u64 {
 /// Drives `service` with `config.clients` closed-loop clients issuing seed-pinned workloads
 /// over `g` and the service's own source set.
 pub fn run_closed_loop(service: &QueryService, g: &Graph, config: &LoadConfig) -> LoadReport {
+    run_closed_loop_on(service, g, &service.oracle().sources(), config)
+}
+
+/// Generic entry point of [`run_closed_loop`]: drives any service answering in [`Distance`]s
+/// — including an epoch-swapping [`QueryService<EpochOracle>`](crate::EpochOracle), whose
+/// source set is stable across epochs and therefore passed in by the caller. This is the
+/// churn mode of the load generator: the caller owns the event/rebuild/publish loop and runs
+/// this concurrently to keep closed-loop load on the service while epochs swap under it.
+///
+/// Note the determinism caveat under churn: the issued query multiset is still a pure
+/// function of `(g, sources, config)`, but answers — and hence `checksum` — depend on which
+/// epoch each batch lands in. Against an immutable oracle the checksum stays reproducible
+/// exactly as before.
+pub fn run_closed_loop_on<O: RouteOracle<Answer = Distance>>(
+    service: &QueryService<O>,
+    g: &Graph,
+    sources: &[Vertex],
+    config: &LoadConfig,
+) -> LoadReport {
     let clients = config.clients.max(1);
-    let sources = service.oracle().sources();
     let latency = LatencyHistogram::new();
     let start = Instant::now();
     let client_checksums: Vec<u64> = std::thread::scope(|scope| {
@@ -185,6 +203,38 @@ mod tests {
             assert_eq!(metrics.queries_total, report.total_queries);
         }
         assert_eq!(checksums[0], checksums[1], "answers must not depend on worker count");
+    }
+
+    #[test]
+    fn closed_loop_drives_an_epoch_service_through_a_live_swap() {
+        use crate::epoch::EpochOracle;
+        use crate::service::ShardedOracle;
+        let g = grid_graph(5, 5);
+        let sources = [0usize, 12, 24];
+        let oracle0 = ShardedOracle::build_bk_csr(&g.freeze(), &sources, 2);
+        let service = QueryService::start(EpochOracle::new(oracle0), &ServiceConfig { workers: 2 });
+        let config = LoadConfig { clients: 2, batches_per_client: 6, batch_size: 8, seed: 5 };
+        let report = std::thread::scope(|scope| {
+            let swapper = scope.spawn(|| {
+                // Rebuild for a removed edge and publish while the clients are running.
+                let mut g2 = g.clone();
+                g2.remove_edge(0, 1).unwrap();
+                let (next, stats) = service
+                    .oracle()
+                    .current()
+                    .oracle
+                    .rebuild_bk_csr(&g2.freeze(), msrp_graph::Edge::new(0, 1));
+                assert_eq!(stats.sources_total, 3, "{stats:?}");
+                service.oracle().publish(next).id
+            });
+            let report = run_closed_loop_on(&service, &g, &sources, &config);
+            assert_eq!(swapper.join().expect("swapper"), 1);
+            report
+        });
+        assert_eq!(report.total_queries, 2 * 6 * 8);
+        assert_eq!(service.oracle().epoch_id(), 1);
+        let metrics = service.shutdown();
+        assert!(metrics.queries_total >= report.total_queries);
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! Service observability: log-bucketed latency histograms and throughput counters.
 //!
 //! Latencies are recorded into power-of-two buckets (`bucket i` holds samples with
-//! `2^(i-1) ns < latency ≤ 2^i ns`), so a histogram is 64 atomic counters regardless of how
+//! `2^(i-1) ns < latency ≤ 2^i ns`; bucket 0 also absorbs 0 ns samples), so a histogram is
+//! 64 atomic counters regardless of how
 //! many samples it absorbs, and quantiles are read off the cumulative bucket counts with at
 //! most 2× relative error — the standard trade-off for serving-side p50/p99 tracking. All
 //! counters are atomics: recording is lock-free and safe from any worker or client thread.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use msrp_oracle::RebuildStats;
 
 /// Number of log buckets; `2^63 ns` is centuries, so 64 buckets cover every `Duration`.
 const BUCKET_COUNT: usize = 64;
@@ -70,7 +73,9 @@ impl Default for LatencyHistogram {
 /// A point-in-time copy of a [`LatencyHistogram`], with quantile accessors.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HistogramSnapshot {
-    /// Per-bucket sample counts (`buckets[i]` holds samples in `(2^(i-1), 2^i]` ns).
+    /// Per-bucket sample counts (`buckets[i]` holds samples in `(2^(i-1), 2^i]` ns; bucket 0
+    /// additionally absorbs 0 ns, so the quantile over-estimate bound of "at most the bucket
+    /// upper bound, within 2×" holds for every recordable sample).
     pub buckets: Vec<u64>,
     /// Total number of samples.
     pub count: u64,
@@ -83,12 +88,19 @@ pub struct HistogramSnapshot {
 impl HistogramSnapshot {
     /// Upper bound of the bucket containing the `q`-quantile sample (`0 < q ≤ 1`), or zero
     /// when the histogram is empty. Bucketing makes this an over-estimate by at most 2×.
+    ///
+    /// The rank is derived from the *bucket sum*, not the snapshot's `count` field: the two
+    /// are loaded by separate atomic reads while workers keep recording, so `count` can run
+    /// ahead of the buckets. A rank computed from the larger `count` may exceed every
+    /// cumulative bucket total, silently turning p50 into `max_ns` under load; within the
+    /// buckets alone the snapshot is always self-consistent.
     pub fn quantile(&self, q: f64) -> Duration {
         assert!(q > 0.0 && q <= 1.0, "quantile {q} outside (0, 1]");
-        if self.count == 0 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
             return Duration::ZERO;
         }
-        let rank = (q * self.count as f64).ceil() as u64;
+        let rank = (q * total as f64).ceil() as u64;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -96,7 +108,7 @@ impl HistogramSnapshot {
                 return Duration::from_nanos(if i >= 63 { u64::MAX } else { 1u64 << i });
             }
         }
-        Duration::from_nanos(self.max_ns)
+        unreachable!("rank {rank} ≤ bucket sum {total} is always reached in the scan")
     }
 
     /// Median latency (bucket upper bound).
@@ -136,10 +148,24 @@ impl HistogramSnapshot {
 pub struct ServiceMetrics {
     /// Latency of whole batches, recorded by the worker that executed the batch.
     pub batch_latency: LatencyHistogram,
+    /// Staleness window of each epoch swap: churn-event arrival → new epoch published.
+    /// Queries answered inside this window legitimately see the pre-event graph.
+    pub staleness_window: LatencyHistogram,
+    /// Oracle reconstruction time of each epoch swap (the rebuild alone, excluding the
+    /// publish itself).
+    pub rebuild_latency: LatencyHistogram,
+    /// Currently served epoch id (0 until the first swap).
+    epoch: AtomicU64,
     queries_total: AtomicU64,
     unroutable_total: AtomicU64,
     shard_queries: Vec<AtomicU64>,
     worker_batches: Vec<AtomicU64>,
+    sources_total: AtomicU64,
+    sources_reused_total: AtomicU64,
+    sources_patched_total: AtomicU64,
+    sources_rebuilt_total: AtomicU64,
+    cuts_recomputed_total: AtomicU64,
+    cuts_total: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -147,11 +173,40 @@ impl ServiceMetrics {
     pub fn new(shards: usize, workers: usize) -> Self {
         ServiceMetrics {
             batch_latency: LatencyHistogram::new(),
+            staleness_window: LatencyHistogram::new(),
+            rebuild_latency: LatencyHistogram::new(),
+            epoch: AtomicU64::new(0),
             queries_total: AtomicU64::new(0),
             unroutable_total: AtomicU64::new(0),
             shard_queries: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             worker_batches: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            sources_total: AtomicU64::new(0),
+            sources_reused_total: AtomicU64::new(0),
+            sources_patched_total: AtomicU64::new(0),
+            sources_rebuilt_total: AtomicU64::new(0),
+            cuts_recomputed_total: AtomicU64::new(0),
+            cuts_total: AtomicU64::new(0),
         }
+    }
+
+    /// Records one epoch swap: the new epoch id, the staleness window (event arrival →
+    /// publish), the rebuild latency, and the incremental-rebuild work accounting.
+    pub fn record_epoch_swap(
+        &self,
+        epoch: u64,
+        staleness: Duration,
+        rebuild: Duration,
+        stats: &RebuildStats,
+    ) {
+        self.epoch.fetch_max(epoch, Ordering::Relaxed);
+        self.staleness_window.record(staleness);
+        self.rebuild_latency.record(rebuild);
+        self.sources_total.fetch_add(stats.sources_total as u64, Ordering::Relaxed);
+        self.sources_reused_total.fetch_add(stats.sources_reused as u64, Ordering::Relaxed);
+        self.sources_patched_total.fetch_add(stats.sources_patched as u64, Ordering::Relaxed);
+        self.sources_rebuilt_total.fetch_add(stats.sources_rebuilt as u64, Ordering::Relaxed);
+        self.cuts_recomputed_total.fetch_add(stats.cuts_recomputed as u64, Ordering::Relaxed);
+        self.cuts_total.fetch_add(stats.cuts_total as u64, Ordering::Relaxed);
     }
 
     /// Flushes one batch's worth of routing counts: `shard_counts[i]` queries were routed to
@@ -184,10 +239,21 @@ impl ServiceMetrics {
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             batch_latency: self.batch_latency.snapshot(),
+            staleness_window: self.staleness_window.snapshot(),
+            rebuild_latency: self.rebuild_latency.snapshot(),
+            epoch: self.epoch.load(Ordering::Relaxed),
             queries_total: self.queries_total.load(Ordering::Relaxed),
             unroutable_total: self.unroutable_total.load(Ordering::Relaxed),
             shard_queries: self.shard_queries.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
             worker_batches: self.worker_batches.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            rebuild: RebuildStats {
+                sources_total: self.sources_total.load(Ordering::Relaxed) as usize,
+                sources_reused: self.sources_reused_total.load(Ordering::Relaxed) as usize,
+                sources_patched: self.sources_patched_total.load(Ordering::Relaxed) as usize,
+                sources_rebuilt: self.sources_rebuilt_total.load(Ordering::Relaxed) as usize,
+                cuts_total: self.cuts_total.load(Ordering::Relaxed) as usize,
+                cuts_recomputed: self.cuts_recomputed_total.load(Ordering::Relaxed) as usize,
+            },
         }
     }
 }
@@ -197,6 +263,12 @@ impl ServiceMetrics {
 pub struct MetricsSnapshot {
     /// Batch latency histogram.
     pub batch_latency: HistogramSnapshot,
+    /// Staleness-window histogram of epoch swaps (empty until the first swap).
+    pub staleness_window: HistogramSnapshot,
+    /// Rebuild-latency histogram of epoch swaps (empty until the first swap).
+    pub rebuild_latency: HistogramSnapshot,
+    /// Currently served epoch id (0 until the first swap).
+    pub epoch: u64,
     /// Total queries answered (including unroutable ones).
     pub queries_total: u64,
     /// Queries whose source belonged to no shard.
@@ -205,6 +277,10 @@ pub struct MetricsSnapshot {
     pub shard_queries: Vec<u64>,
     /// Batches executed by each worker.
     pub worker_batches: Vec<u64>,
+    /// Incremental-rebuild work accounting, merged over every recorded swap (so
+    /// `sources_total`/`cuts_total` are the work a from-scratch rebuild per event would
+    /// have done, and the reuse/patch/rebuild split is the measured saving).
+    pub rebuild: RebuildStats,
 }
 
 #[cfg(test)]
@@ -239,6 +315,51 @@ mod tests {
         assert_eq!(snap.max(), Duration::from_nanos(1 << 20));
         assert!(snap.mean() >= Duration::from_nanos(100));
         assert!(snap.summary().contains("n=100"));
+    }
+
+    #[test]
+    fn quantile_survives_count_running_ahead_of_buckets() {
+        // Regression: `snapshot()` loads `count` after the buckets, so a racing `record`
+        // can leave `count` larger than the bucket sum. A rank derived from `count` was
+        // then never reached and p50 silently fell through to `max_ns`. The rank must come
+        // from the buckets themselves.
+        let racy = HistogramSnapshot {
+            buckets: {
+                let mut b = vec![0u64; 64];
+                b[7] = 10; // ten samples ≤ 128 ns actually visible in the buckets
+                b
+            },
+            count: 25, // 15 records landed between the two loads
+            sum_ns: 10 * 100,
+            max_ns: 1 << 30, // and one of them was huge
+        };
+        assert_eq!(racy.p50(), Duration::from_nanos(128));
+        assert_eq!(racy.p99(), Duration::from_nanos(128));
+        assert_eq!(racy.quantile(1.0), Duration::from_nanos(128));
+    }
+
+    #[test]
+    fn epoch_swaps_are_recorded_and_merged() {
+        let m = ServiceMetrics::new(1, 1);
+        assert_eq!(m.snapshot().epoch, 0);
+        let stats = RebuildStats {
+            sources_total: 4,
+            sources_reused: 1,
+            sources_patched: 2,
+            sources_rebuilt: 1,
+            cuts_total: 40,
+            cuts_recomputed: 9,
+        };
+        m.record_epoch_swap(1, Duration::from_micros(80), Duration::from_micros(50), &stats);
+        m.record_epoch_swap(2, Duration::from_micros(120), Duration::from_micros(60), &stats);
+        let snap = m.snapshot();
+        assert_eq!(snap.epoch, 2);
+        assert_eq!(snap.staleness_window.count, 2);
+        assert_eq!(snap.rebuild_latency.count, 2);
+        let mut expected = stats;
+        expected.merge(&stats);
+        assert_eq!(snap.rebuild, expected);
+        assert!(snap.rebuild.strictly_less_than_full());
     }
 
     #[test]

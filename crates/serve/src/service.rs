@@ -23,7 +23,7 @@ use std::time::Instant;
 use msrp_core::MsrpParams;
 use msrp_graph::{CsrGraph, Distance, Edge, Graph, Vertex, Weight, WeightedCsrGraph};
 use msrp_oracle::{
-    build_shards, build_shards_csr, build_weighted_shards, ReplacementPathOracle,
+    build_shards, build_shards_csr, build_weighted_shards, RebuildStats, ReplacementPathOracle,
     WeightedReplacementOracle,
 };
 
@@ -68,6 +68,18 @@ pub trait RouteOracle: Send + Sync + 'static {
     /// Answers one query and reports the shard it was routed to (`None, None` when the
     /// source is unroutable or any id is out of range).
     fn query_routed(&self, q: Query) -> (Option<usize>, Option<Self::Answer>);
+
+    /// Answers a whole batch, one `(shard, answer)` pair per query in order.
+    ///
+    /// This is the granularity at which a worker consults the oracle, and the hook that
+    /// makes epoch-swap serving coherent: an implementation holding mutable-behind-`Arc`
+    /// state (like [`EpochOracle`](crate::EpochOracle)) overrides it to resolve that state
+    /// **once per batch**, so every answer in a batch comes from the same oracle snapshot
+    /// even while a swap lands mid-batch. The default simply routes query by query, which
+    /// is correct for immutable oracles.
+    fn query_batch_routed(&self, queries: &[Query]) -> Vec<(Option<usize>, Option<Self::Answer>)> {
+        queries.iter().map(|&q| self.query_routed(q)).collect()
+    }
 }
 
 /// `(source, shard index)` pairs sorted by source: the binary-search routing table shared
@@ -200,10 +212,45 @@ impl ShardedOracle {
     }
 
     /// Fault-free distance from `source` to `target` (`None` when `source` is unroutable or
-    /// `target` unreachable).
+    /// `target` unreachable or out of range).
     pub fn distance(&self, source: Vertex, target: Vertex) -> Option<Distance> {
+        // Same guard as the weighted twin: the shard's `distance` indexes its tree's
+        // distance array with `target`, and a hostile id must answer `None`, not panic.
+        if target >= self.vertex_count() {
+            return None;
+        }
         let shard = self.shard_for(source)?;
         self.shards[shard].distance(source, target)
+    }
+
+    /// The shards, in routing order (read-only; exposed so churn drivers can compare an
+    /// incrementally rebuilt shard set against a from-scratch build shard-for-shard).
+    pub fn shards(&self) -> &[ReplacementPathOracle] {
+        &self.shards
+    }
+
+    /// Rebuilds every shard for `g_new` — the served graph with the single edge `changed`
+    /// added or removed — through the incremental Bernstein–Karger path
+    /// ([`ReplacementPathOracle::rebuild_bk_csr`]), reusing every per-source table the
+    /// change provably does not touch. Routing is unchanged (the sources are the same); the
+    /// merged [`RebuildStats`] quantify the work saved over a from-scratch
+    /// [`build_bk_csr`](Self::build_bk_csr).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g_new` changes the vertex count or `changed` is out of range.
+    pub fn rebuild_bk_csr(&self, g_new: &CsrGraph, changed: Edge) -> (Self, RebuildStats) {
+        let mut stats = RebuildStats::default();
+        let shards = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let (next, s) = shard.rebuild_bk_csr(g_new, changed);
+                stats.merge(&s);
+                next
+            })
+            .collect();
+        (ShardedOracle { shards, route: self.route.clone() }, stats)
     }
 
     /// Merges the shards back into a single oracle (consumes the sharded view).
@@ -422,15 +469,16 @@ impl<O: RouteOracle> QueryService<O> {
                             Err(_) => break, // queue closed: graceful shutdown
                         };
                         let start = Instant::now();
-                        // Tally routing locally and flush once per batch; per-query atomics
+                        // One oracle consultation per batch: epoch-pinning implementations
+                        // rely on this being the only point answers are produced. Tally
+                        // routing locally and flush once per batch; per-query atomics
                         // would make the workers contend (see ServiceMetrics).
                         let mut shard_counts = vec![0u64; oracle.shard_count()];
                         let mut unroutable = 0u64;
-                        let answers: Vec<Option<O::Answer>> = job
-                            .queries
-                            .iter()
-                            .map(|&q| {
-                                let (shard, answer) = oracle.query_routed(q);
+                        let answers: Vec<Option<O::Answer>> = oracle
+                            .query_batch_routed(&job.queries)
+                            .into_iter()
+                            .map(|(shard, answer)| {
                                 match shard {
                                     Some(i) => shard_counts[i] += 1,
                                     None => unroutable += 1,
@@ -479,6 +527,13 @@ impl<O: RouteOracle> QueryService<O> {
     /// Live metrics snapshot (the service keeps running).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// A shared handle to the live metrics, for recorders outside the worker pool (the
+    /// churn driver's rebuild thread records epoch swaps through this while the pool keeps
+    /// serving).
+    pub fn shared_metrics(&self) -> Arc<ServiceMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Gracefully shuts down: closes the queue, drains queued batches, joins every worker,
@@ -701,6 +756,21 @@ mod tests {
         let metrics = service.shutdown();
         assert_eq!(metrics.unroutable_total, hostile.len() as u64);
         assert_eq!(metrics.queries_total, hostile.len() as u64 + 1);
+    }
+
+    #[test]
+    fn distance_rejects_out_of_range_targets_on_both_oracles() {
+        // Regression: the unweighted `distance` used to forward an unchecked `target` into
+        // the tree's `dist[t]` indexing — the same shape as the PR 4 headline panic, which
+        // only the weighted twin had the guard for.
+        let g = cycle_graph(9);
+        let oracle = ShardedOracle::build(&g, &[0, 3], &MsrpParams::default(), 2);
+        assert_eq!(oracle.distance(0, usize::MAX), None);
+        assert_eq!(oracle.distance(0, 9), None);
+        assert_eq!(oracle.distance(0, 8), Some(1));
+        let (wg, sources) = weighted_demo();
+        let weighted = WeightedShardedOracle::build(&wg, &sources, 2);
+        assert_eq!(weighted.distance(0, usize::MAX), None);
     }
 
     #[test]

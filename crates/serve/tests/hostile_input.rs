@@ -7,11 +7,14 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use std::sync::{Arc, Mutex};
+
 use msrp_core::MsrpParams;
 use msrp_graph::generators::{connected_gnm, weighted_connected_gnm};
 use msrp_graph::{Edge, Graph};
 use msrp_serve::{
-    parse_request, validate_query, Query, QueryService, Request, ServiceConfig, ShardedOracle,
+    parse_request, validate_query, Epoch, EpochOracle, Query, QueryService, Request, ServiceConfig,
+    ShardedOracle,
 };
 
 const N: usize = 48;
@@ -162,6 +165,104 @@ fn weighted_service_survives_the_same_hostility() {
     let good = Query::new(0, N - 1, Edge::new(0, 1));
     assert_eq!(service.answer_batch(&[good])[0], service.oracle().query(good));
     service.shutdown();
+}
+
+/// The churn storm: hostile lines and valid queries fired at an epoch-swapping service
+/// *while* rebuild-and-publish cycles are in flight. Two invariants:
+///
+/// 1. **No worker dies** — every fuzzed batch is answered, and the pool still answers
+///    exactly after the storm.
+/// 2. **No batch mixes epochs** — every batch's answers equal, query for query, the answer
+///    set of a *single* published epoch (old or new; which one depends on timing, but never
+///    a blend).
+#[test]
+fn churn_storm_never_mixes_epochs_within_a_batch() {
+    let mut rng = StdRng::seed_from_u64(74);
+    let g0 = connected_gnm(N, 130, &mut rng).unwrap();
+    let oracle0 = ShardedOracle::build_bk_csr(&g0.freeze(), &SOURCES, 2);
+    let service = QueryService::start(EpochOracle::new(oracle0), &ServiceConfig { workers: 3 });
+    // Every epoch that has ever been current, for the pinning check. Pushes happen inside
+    // the same critical section as the publish, so any epoch a batch can possibly have
+    // pinned is in this list by the time the storm thread locks it.
+    let published: Mutex<Vec<Arc<Epoch>>> = Mutex::new(vec![service.oracle().current()]);
+    std::thread::scope(|scope| {
+        let swapper = scope.spawn(|| {
+            let mut g = g0.clone();
+            let mut churn_rng = StdRng::seed_from_u64(75);
+            let mut down: Vec<Edge> = Vec::new();
+            for _ in 0..8 {
+                let repair = !down.is_empty() && churn_rng.gen_range(0..2usize) == 0;
+                let e = if repair {
+                    let e = down.swap_remove(churn_rng.gen_range(0..down.len()));
+                    let (u, v) = e.endpoints();
+                    g.add_edge(u, v).unwrap();
+                    e
+                } else {
+                    let edges = g.edge_vec();
+                    let e = edges[churn_rng.gen_range(0..edges.len())];
+                    let (u, v) = e.endpoints();
+                    g.remove_edge(u, v).unwrap();
+                    down.push(e);
+                    e
+                };
+                let event_at = std::time::Instant::now();
+                let rebuild_at = std::time::Instant::now();
+                let (next, stats) =
+                    service.oracle().current().oracle.rebuild_bk_csr(&g.freeze(), e);
+                let rebuilt_in = rebuild_at.elapsed();
+                let mut log = published.lock().unwrap();
+                let epoch = service.oracle().publish(next);
+                service.shared_metrics().record_epoch_swap(
+                    epoch.id,
+                    event_at.elapsed(),
+                    rebuilt_in,
+                    &stats,
+                );
+                log.push(epoch);
+            }
+        });
+        // The storm: interleave fuzzed lines (unvalidated, straight at the workers) with
+        // well-formed queries, in mixed batches, while the swapper runs.
+        let mut fuzz_rng = StdRng::seed_from_u64(0xCAFE);
+        for round in 0..60usize {
+            let mut batch = Vec::new();
+            while batch.len() < 24 {
+                match parse_request(&hostile_line(&mut fuzz_rng)) {
+                    Ok(Request::Query(q)) | Ok(Request::WeightedQuery(q)) => batch.push(q),
+                    _ => {}
+                }
+                batch.push(Query::new(
+                    SOURCES[batch.len() % SOURCES.len()],
+                    fuzz_rng.gen_range(0..N),
+                    Edge::new(0, 1),
+                ));
+            }
+            let answers = service.answer_batch(&batch);
+            let epochs = published.lock().unwrap().clone();
+            let consistent = epochs
+                .iter()
+                .any(|ep| batch.iter().zip(&answers).all(|(q, a)| *a == ep.oracle.query(*q)));
+            assert!(
+                consistent,
+                "round {round}: batch matches no single epoch (epochs seen: {})",
+                epochs.len()
+            );
+        }
+        swapper.join().expect("swapper thread panicked");
+    });
+    // Quiescent now: every answer must come from the final epoch, and every worker lives.
+    let last = service.oracle().current();
+    assert_eq!(last.id, 8);
+    let good = Query::new(SOURCES[1], N - 1, Edge::new(0, 1));
+    for _ in 0..service.worker_count() * 2 {
+        assert_eq!(service.answer_batch(&[good])[0], last.oracle.query(good));
+    }
+    let metrics = service.shutdown();
+    assert_eq!(metrics.epoch, 8);
+    assert_eq!(metrics.staleness_window.count, 8);
+    assert_eq!(metrics.rebuild_latency.count, 8);
+    assert_eq!(metrics.rebuild.sources_total, 8 * SOURCES.len());
+    assert!(metrics.queries_total > 0);
 }
 
 /// The BK-built service under the same storm: a graph with isolated vertices and a pendant

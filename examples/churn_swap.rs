@@ -1,0 +1,66 @@
+//! Live churn: serving replacement-path queries while the network changes under the service.
+//!
+//! An operator's links fail and come back; queries must keep flowing the whole time. This
+//! example runs the epoch-swap pipeline end to end: a `QueryService` answers from an
+//! immutable `Arc`-shared shard set, each failure/repair event triggers an *incremental*
+//! Bernstein–Karger rebuild on a background thread, and an atomic epoch publish makes the
+//! post-event oracle live without ever pausing the workers. Every batch is validated
+//! against per-epoch ground truth, and every incremental rebuild against a from-scratch
+//! build — the run prints the measured incremental win.
+//!
+//! Run with: `cargo run --release --example churn_swap`
+
+use msrp::graph::generators::{connected_gnm, grid_graph};
+use msrp::graph::Graph;
+use msrp::netsim::{run_churn, ChurnConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let scenarios: Vec<(&str, Graph)> = vec![
+        ("metro grid 8x8", grid_graph(8, 8)),
+        ("sparse ISP mesh", connected_gnm(96, 260, &mut rng).expect("valid parameters")),
+    ];
+    println!(
+        "{:<18} {:>7} {:>9} {:>11} {:>22} {:>16} {:>11} {:>11}",
+        "scenario",
+        "events",
+        "queries",
+        "mismatches",
+        "src reuse/patch/rebuild",
+        "cuts redone",
+        "stale p99",
+        "rebuild p50"
+    );
+    for (name, graph) in scenarios {
+        let n = graph.vertex_count();
+        let config = ChurnConfig {
+            gateways: vec![0, n / 4, n / 2, 3 * n / 4],
+            events: 12,
+            batches_in_flight: 3,
+            batches_settled: 2,
+            batch_size: 16,
+            shards: 2,
+            workers: 2,
+            seed: 7,
+            verify_full: true,
+        };
+        let report = run_churn(&graph, &config);
+        assert_eq!(report.mismatched_batches, 0, "every batch must match one epoch exactly");
+        assert!(report.incremental_win(), "incremental rebuild must beat from-scratch");
+        let inc = &report.incremental;
+        println!(
+            "{:<18} {:>7} {:>9} {:>11} {:>22} {:>16} {:>11} {:>11}",
+            name,
+            format!("{}+{}r", report.events - report.repairs, report.repairs),
+            report.total_queries,
+            report.mismatched_batches,
+            format!("{}/{}/{}", inc.sources_reused, inc.sources_patched, inc.sources_rebuilt),
+            format!("{}/{}", inc.cuts_recomputed, inc.cuts_total),
+            format!("{:.1?}", report.staleness.p99()),
+            format!("{:.1?}", report.rebuild_latency.p50()),
+        );
+    }
+    println!("\nEvery batch matched a single epoch; incremental rebuilds beat full rebuilds.");
+}

@@ -8,9 +8,10 @@
 use std::path::Path;
 use std::process::Command;
 
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "quickstart",
     "bmm_reduction",
+    "churn_swap",
     "network_resilience",
     "scaling_study",
     "serve_tcp",

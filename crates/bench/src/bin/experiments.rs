@@ -1,9 +1,9 @@
-//! Experiment harness: regenerates the derived tables E1–E11 described in `EXPERIMENTS.md`.
+//! Experiment harness: regenerates the derived tables E1–E12 described in `EXPERIMENTS.md`.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run -p msrp-bench --release --bin experiments -- [e1|...|e11|all] [--quick] [--list]
+//! cargo run -p msrp-bench --release --bin experiments -- [e1|...|e12|all] [--quick] [--list]
 //! ```
 //!
 //! `--quick` shrinks the instance sizes so that every experiment finishes in a few seconds
@@ -12,6 +12,7 @@
 //! exits.
 
 use std::env;
+use std::time::{Duration, Instant};
 
 use msrp_bench::{
     evenly_spaced_sources, standard_graph, standard_weighted_graph, time_secs, Table, WorkloadKind,
@@ -25,7 +26,8 @@ use msrp_graph::{bfs_avoiding_edge, DijkstraScratch, Graph, ShortestPathTree};
 use msrp_netsim::{
     run_churn, run_simulation, run_simulation_with_service, ChurnConfig, SimulationConfig,
 };
-use msrp_oracle::ReplacementPathOracle;
+use msrp_obs::{timed, StageProfile};
+use msrp_oracle::{shard_sources, ReplacementPathOracle, BK_STAGES};
 use msrp_rpath::{
     single_source_brute_force, single_source_brute_force_weighted, single_source_via_single_pair,
 };
@@ -34,7 +36,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Every experiment id with its one-line description (printed by `--list`).
-const EXPERIMENTS: [(&str, &str); 11] = [
+const EXPERIMENTS: [(&str, &str); 12] = [
     ("e1", "single-source scaling (Theorem 14) vs the two O~(mn) baselines"),
     ("e2", "multi-source scaling in sigma (Theorem 1/26) on a fixed graph"),
     ("e3", "exactness rate of the randomized algorithm, paper vs scaled constants"),
@@ -46,6 +48,7 @@ const EXPERIMENTS: [(&str, &str); 11] = [
     ("e9", "weighted MSRP: subtree-Dijkstra solver vs weighted brute force (Section 9)"),
     ("e10", "Bernstein-Karger preprocessing vs per-tree-edge brute force, tables compared"),
     ("e11", "live churn: epoch-swap serving, incremental vs full rebuild, zero mismatches"),
+    ("e12", "build/rebuild stage profile: where BK preprocessing and ladder time goes"),
 ];
 
 fn main() {
@@ -104,6 +107,9 @@ fn main() {
     }
     if run("e11") {
         experiment_e11(quick);
+    }
+    if run("e12") {
+        experiment_e12(quick);
     }
 }
 
@@ -571,4 +577,104 @@ fn experiment_e11(quick: bool) {
         }
     }
     table.print();
+}
+
+/// E12 — build/rebuild stage profile: where the Bernstein–Karger preprocessing wall time
+/// goes, stage by stage (`tree` BFS trees, `cover` heavy-path decomposition, `rows` table
+/// allocation, `cuts` the multi-seed cut solves, `merge` the shard merge), and where the
+/// incremental rebuild ladder spends its time (`reuse`/`patch`/`rebuild` rungs), at three
+/// graph sizes. The acceptance bar asserted on every row: the staged times must account
+/// for the measured wall within 10% (plus a small absolute epsilon so the timer-noise
+/// floor cannot flake the `--quick` sizes on a loaded 1-CPU runner).
+fn experiment_e12(quick: bool) {
+    println!("\n=== E12: build/rebuild stage profile — where preprocessing time goes ===");
+    let sizes: &[usize] = if quick { &[48, 96] } else { &[256, 512, 1024] };
+    let sigma = 8;
+    let shards = 2;
+    let ms = |d: Duration| format!("{:.2}", d.as_secs_f64() * 1e3);
+    let coverage = |staged: Duration, wall: Duration| {
+        format!("{:.1}%", 100.0 * staged.as_secs_f64() / wall.as_secs_f64().max(1e-12))
+    };
+    // `accounted` must reach 100% − 10% on every row; the epsilon covers timer noise when
+    // the whole build is a few milliseconds.
+    let check_accounted = |what: &str, staged: Duration, wall: Duration| {
+        let slack = wall.saturating_sub(staged);
+        let tolerance = (wall / 10).max(Duration::from_millis(5));
+        assert!(
+            slack <= tolerance,
+            "{what}: staged times {staged:?} leave {slack:?} of the {wall:?} wall \
+             unaccounted (tolerance {tolerance:?})"
+        );
+    };
+    let mut build_table = Table::new([
+        "n",
+        "sigma",
+        "build (ms)",
+        "tree",
+        "cover",
+        "rows",
+        "cuts",
+        "merge",
+        "accounted",
+    ]);
+    let mut ladder_table =
+        Table::new(["n", "rebuild (ms)", "reuse", "patch", "rebuild rung", "accounted"]);
+    for &n in sizes {
+        let g = standard_graph(WorkloadKind::SparseRandom, n, 53);
+        let csr = g.freeze();
+        let sources = evenly_spaced_sources(n, sigma);
+        let mut profile = StageProfile::new();
+        let build_start = Instant::now();
+        let shard_oracles: Vec<ReplacementPathOracle> = shard_sources(&sources, shards)
+            .into_iter()
+            .map(|chunk| ReplacementPathOracle::build_bk_csr_profiled(&csr, chunk, &mut profile))
+            .collect();
+        let sharded = timed(&mut profile, "merge", || ShardedOracle::from_shards(shard_oracles));
+        let build_wall = build_start.elapsed();
+        let stage_time = |name: &str| profile.get(name).map_or(Duration::ZERO, |t| t.total);
+        let staged: Duration = BK_STAGES.iter().map(|s| stage_time(s)).sum();
+        assert_eq!(staged, profile.total(), "BK_STAGES must name every recorded stage");
+        check_accounted("build", staged, build_wall);
+        build_table.add_row([
+            n.to_string(),
+            sources.len().to_string(),
+            ms(build_wall),
+            ms(stage_time("tree")),
+            ms(stage_time("cover")),
+            ms(stage_time("rows")),
+            ms(stage_time("cuts")),
+            ms(stage_time("merge")),
+            coverage(staged, build_wall),
+        ]);
+        // The rebuild ladder on one edge failure: remove an edge, rebuild incrementally,
+        // and read where the time went off the per-rung stats.
+        let mut g_post = g.clone();
+        let e = g_post.edge_vec()[g_post.edge_count() / 2];
+        let (u, v) = e.endpoints();
+        g_post.remove_edge(u, v).expect("edge came from edge_vec");
+        let post_csr = g_post.freeze();
+        let rebuild_start = Instant::now();
+        let (_rebuilt, stats) = sharded.rebuild_bk_csr(&post_csr, e);
+        let rebuild_wall = rebuild_start.elapsed();
+        let rungs = stats.rungs();
+        assert_eq!(
+            rungs.iter().map(|&(_, s, _)| s).sum::<usize>(),
+            stats.sources_total,
+            "every source must be charged to exactly one rung"
+        );
+        check_accounted("rebuild ladder", stats.rung_time(), rebuild_wall);
+        let rung_cell = |i: usize| format!("{} src, {}", rungs[i].1, ms(rungs[i].2));
+        ladder_table.add_row([
+            n.to_string(),
+            ms(rebuild_wall),
+            rung_cell(0),
+            rung_cell(1),
+            rung_cell(2),
+            coverage(stats.rung_time(), rebuild_wall),
+        ]);
+    }
+    println!("\nBK build pipeline (per-stage wall time, {shards} shards built sequentially):");
+    build_table.print();
+    println!("\nincremental rebuild ladder (one edge failure per size):");
+    ladder_table.print();
 }

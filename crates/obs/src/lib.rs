@@ -1,0 +1,33 @@
+//! `msrp-obs` — the observability plane of the MSRP workspace.
+//!
+//! Zero-dependency by design (the container builds offline, matching the PR 1 shim-crate
+//! pattern): everything here is `std`-only and usable from any crate in the workspace
+//! without pulling in a tracing framework. Four small pieces compose the plane:
+//!
+//! - [`SpanJournal`] — a lock-free, fixed-capacity ring buffer of span events. Writers
+//!   never block and never allocate; when the ring wraps, old events are *dropped and
+//!   counted*, not retained at the cost of stalling the hot path. [`TraceIdGen`] mints
+//!   seed-stable trace ids so a batch can be correlated across queue-wait / compute /
+//!   reply spans and replayed deterministically.
+//! - [`Profiler`] / [`StageProfile`] — a monomorphized stage profiler for build pipelines.
+//!   Code is written once, generic over `P: Profiler`; instantiating it with
+//!   [`NoProfiler`] compiles every timing call to nothing (checked via the
+//!   `const ENABLED` flag), so the un-profiled build path pays zero cost.
+//! - [`Exposition`] — a Prometheus-style text exposition builder plus a strict
+//!   [`is_well_formed`] validator used by the hostile-input fuzz suites.
+//! - [`SlowLog`] — a bounded, mutex-guarded log of slow operations. The mutex is fine
+//!   here: by construction the lock is only taken when an operation already blew a
+//!   latency threshold, so it is never on the fast path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod expo;
+mod journal;
+mod profile;
+mod slowlog;
+
+pub use expo::{is_well_formed, Exposition};
+pub use journal::{JournalSnapshot, SpanEvent, SpanJournal, TraceIdGen};
+pub use profile::{timed, NoProfiler, Profiler, StageProfile, StageTiming};
+pub use slowlog::{SlowEntry, SlowLog};

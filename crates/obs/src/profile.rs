@@ -1,0 +1,157 @@
+//! A monomorphized stage profiler for build pipelines.
+//!
+//! Pipelines are written once, generic over `P: Profiler`, and instantiated twice: with
+//! [`NoProfiler`] for the production path and with [`StageProfile`] for the profiled
+//! path. [`timed`] consults the associated `const ENABLED`, so for `NoProfiler` the
+//! clock reads compile away entirely and the un-profiled build is bit-identical in cost
+//! to code with no profiling hooks at all.
+
+use std::time::{Duration, Instant};
+
+/// A sink for stage timings. See the module docs for the zero-cost pattern.
+pub trait Profiler {
+    /// Whether this profiler records anything; `false` lets [`timed`] skip the clock.
+    const ENABLED: bool;
+    /// Adds `duration` to the running total for `stage`.
+    fn add(&mut self, stage: &'static str, duration: Duration);
+}
+
+/// The no-op profiler: [`timed`] calls instantiated with it compile to a plain call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoProfiler;
+
+impl Profiler for NoProfiler {
+    const ENABLED: bool = false;
+    #[inline(always)]
+    fn add(&mut self, _stage: &'static str, _duration: Duration) {}
+}
+
+/// Accumulated wall time and invocation count of one pipeline stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stage name (a static label chosen at the call site).
+    pub name: &'static str,
+    /// Total wall time across all invocations.
+    pub total: Duration,
+    /// Number of invocations.
+    pub count: u64,
+}
+
+/// A recording profiler: per-stage totals in first-seen order.
+///
+/// Stage sets are small (a handful of static labels), so lookup is a linear scan — no
+/// hashing, no allocation beyond the stage vector itself.
+#[derive(Clone, Debug, Default)]
+pub struct StageProfile {
+    stages: Vec<StageTiming>,
+}
+
+impl StageProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        StageProfile::default()
+    }
+
+    /// The recorded stages, in first-seen order.
+    pub fn stages(&self) -> &[StageTiming] {
+        &self.stages
+    }
+
+    /// Total time recorded for `name`, if the stage was ever entered.
+    pub fn get(&self, name: &str) -> Option<StageTiming> {
+        self.stages.iter().find(|s| s.name == name).copied()
+    }
+
+    /// Sum of all stage totals.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|s| s.total).sum()
+    }
+
+    /// Folds another profile into this one (stage-wise sum; new stages are appended).
+    pub fn merge(&mut self, other: &StageProfile) {
+        for o in &other.stages {
+            self.add(o.name, o.total);
+            if let Some(s) = self.stages.iter_mut().find(|s| s.name == o.name) {
+                // `add` counted one invocation; replace it with the real count.
+                s.count = s.count - 1 + o.count;
+            }
+        }
+    }
+}
+
+impl Profiler for StageProfile {
+    const ENABLED: bool = true;
+
+    fn add(&mut self, stage: &'static str, duration: Duration) {
+        match self.stages.iter_mut().find(|s| s.name == stage) {
+            Some(s) => {
+                s.total += duration;
+                s.count += 1;
+            }
+            None => self.stages.push(StageTiming { name: stage, total: duration, count: 1 }),
+        }
+    }
+}
+
+/// Runs `f`, charging its wall time to `stage` — unless `P::ENABLED` is false, in which
+/// case the clock is never read and the call is exactly `f()`.
+#[inline]
+pub fn timed<P: Profiler, T>(profiler: &mut P, stage: &'static str, f: impl FnOnce() -> T) -> T {
+    if P::ENABLED {
+        let start = Instant::now();
+        let out = f();
+        profiler.add(stage, start.elapsed());
+        out
+    } else {
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_profile_accumulates_and_counts() {
+        let mut p = StageProfile::new();
+        p.add("a", Duration::from_nanos(10));
+        p.add("b", Duration::from_nanos(5));
+        p.add("a", Duration::from_nanos(7));
+        assert_eq!(
+            p.get("a"),
+            Some(StageTiming { name: "a", total: Duration::from_nanos(17), count: 2 })
+        );
+        assert_eq!(p.get("c"), None);
+        assert_eq!(p.total(), Duration::from_nanos(22));
+        assert_eq!(p.stages().len(), 2);
+    }
+
+    #[test]
+    fn merge_sums_totals_and_counts() {
+        let mut a = StageProfile::new();
+        a.add("x", Duration::from_nanos(3));
+        a.add("y", Duration::from_nanos(4));
+        let mut b = StageProfile::new();
+        b.add("y", Duration::from_nanos(6));
+        b.add("y", Duration::from_nanos(1));
+        b.add("z", Duration::from_nanos(2));
+        a.merge(&b);
+        assert_eq!(a.get("x").unwrap().count, 1);
+        let y = a.get("y").unwrap();
+        assert_eq!(y.total, Duration::from_nanos(11));
+        assert_eq!(y.count, 3);
+        let z = a.get("z").unwrap();
+        assert_eq!(z.total, Duration::from_nanos(2));
+        assert_eq!(z.count, 1);
+    }
+
+    #[test]
+    fn timed_records_only_when_enabled() {
+        let mut off = NoProfiler;
+        assert_eq!(timed(&mut off, "s", || 41 + 1), 42);
+        let mut on = StageProfile::new();
+        assert_eq!(timed(&mut on, "s", || 42), 42);
+        let s = on.get("s").unwrap();
+        assert_eq!(s.count, 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! A bounded log of slow operations, keyed by trace id so entries can be correlated
+//! with journal spans and replayed.
+//!
+//! The log is mutex-guarded, which is deliberate: [`SlowLog::observe`] only takes the
+//! lock *after* deciding the operation exceeded the threshold, so under healthy latency
+//! the hot path performs one branch and no synchronization. Capturing the payload is
+//! likewise deferred behind a closure, so fast operations never pay for a clone.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One slow-operation record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowEntry<T> {
+    /// Trace id of the operation (matches the journal's span trace ids).
+    pub trace_id: u64,
+    /// Observed latency.
+    pub latency: Duration,
+    /// Replayable payload (for the query service: the full `(s, t, e)` batch).
+    pub payload: T,
+}
+
+struct SlowState<T> {
+    entries: VecDeque<SlowEntry<T>>,
+    recorded: u64,
+}
+
+/// A bounded slow-operation log retaining the most recent `capacity` entries.
+pub struct SlowLog<T> {
+    capacity: usize,
+    threshold: Duration,
+    state: Mutex<SlowState<T>>,
+}
+
+impl<T> std::fmt::Debug for SlowLog<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowLog")
+            .field("capacity", &self.capacity)
+            .field("threshold", &self.threshold)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> SlowLog<T> {
+    /// Creates a log keeping the latest `capacity` entries (clamped to ≥ 1) of
+    /// operations at least `threshold` slow.
+    pub fn new(capacity: usize, threshold: Duration) -> Self {
+        SlowLog {
+            capacity: capacity.max(1),
+            threshold,
+            state: Mutex::new(SlowState { entries: VecDeque::new(), recorded: 0 }),
+        }
+    }
+
+    /// The configured latency threshold.
+    pub fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// Records the operation if `latency >= threshold`; `payload` is only invoked (and
+    /// the lock only taken) on that slow path. Returns whether an entry was recorded.
+    pub fn observe(&self, trace_id: u64, latency: Duration, payload: impl FnOnce() -> T) -> bool {
+        if latency < self.threshold {
+            return false;
+        }
+        let entry = SlowEntry { trace_id, latency, payload: payload() };
+        let mut state = self.state.lock().expect("slow log poisoned");
+        if state.entries.len() == self.capacity {
+            state.entries.pop_front();
+        }
+        state.entries.push_back(entry);
+        state.recorded += 1;
+        true
+    }
+
+    /// Total slow operations ever recorded (including ones evicted by the bound).
+    pub fn recorded(&self) -> u64 {
+        self.state.lock().expect("slow log poisoned").recorded
+    }
+}
+
+impl<T: Clone> SlowLog<T> {
+    /// Returns the retained entries, oldest first.
+    pub fn snapshot(&self) -> Vec<SlowEntry<T>> {
+        let state = self.state.lock().expect("slow log poisoned");
+        state.entries.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_operations_never_touch_the_log() {
+        let log: SlowLog<Vec<u32>> = SlowLog::new(4, Duration::from_millis(10));
+        let mut captured = false;
+        let recorded = log.observe(1, Duration::from_millis(9), || {
+            captured = true;
+            vec![]
+        });
+        assert!(!recorded);
+        assert!(!captured, "payload must not be captured on the fast path");
+        assert_eq!(log.recorded(), 0);
+        assert!(log.snapshot().is_empty());
+    }
+
+    #[test]
+    fn slow_operations_are_kept_bounded_oldest_evicted() {
+        let log: SlowLog<u64> = SlowLog::new(2, Duration::from_nanos(5));
+        for i in 0..4u64 {
+            assert!(log.observe(i, Duration::from_nanos(5 + i), || i * 10));
+        }
+        assert_eq!(log.recorded(), 4);
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].trace_id, 2);
+        assert_eq!(snap[1].trace_id, 3);
+        assert_eq!(snap[1].payload, 30);
+        assert_eq!(snap[1].latency, Duration::from_nanos(8));
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let log: SlowLog<()> = SlowLog::new(1, Duration::from_nanos(7));
+        assert!(log.observe(0, Duration::from_nanos(7), || ()));
+    }
+}

@@ -44,9 +44,16 @@ use msrp_graph::{
     BfsScratch, CsrGraph, Distance, Graph, ShortestPathTree, TreePathCover, Vertex,
     INFINITE_DISTANCE,
 };
+use msrp_obs::{timed, NoProfiler, Profiler, StageProfile};
 use msrp_rpath::SourceReplacementDistances;
 
 use crate::ReplacementPathOracle;
+
+/// Stage labels of the profiled BK pipeline (see
+/// [`build_bk_csr_profiled`](ReplacementPathOracle::build_bk_csr_profiled)): BFS tree
+/// construction, heavy-path cover decomposition, replacement-table allocation, the
+/// per-cut multi-seed BFS solves, and the shard merge.
+pub const BK_STAGES: [&str; 5] = ["tree", "cover", "rows", "cuts", "merge"];
 
 /// Reusable buffers for the Bernstein–Karger per-cut searches: one distance array reset in
 /// `O(touched)`, the bucket (Dial) queue absorbing unequal seed values, and the seed buffer.
@@ -218,16 +225,29 @@ pub fn bk_replacement_distances(
     cover: &TreePathCover,
     scratch: &mut BkScratch,
 ) -> SourceReplacementDistances {
+    bk_replacement_distances_impl(g, tree, cover, scratch, &mut NoProfiler)
+}
+
+/// The generic body of [`bk_replacement_distances`]: identical output, with per-stage wall
+/// time charged to `profiler`. Instantiated with [`NoProfiler`] the timing calls compile
+/// away, so the public un-profiled entry point pays nothing.
+fn bk_replacement_distances_impl<P: Profiler>(
+    g: &CsrGraph,
+    tree: &ShortestPathTree,
+    cover: &TreePathCover,
+    scratch: &mut BkScratch,
+    profiler: &mut P,
+) -> SourceReplacementDistances {
     let n = g.vertex_count();
     assert!(tree.source() < n, "tree root out of range for the graph");
-    let mut out = SourceReplacementDistances::new(tree);
+    let mut out = timed(profiler, "rows", || SourceReplacementDistances::new(tree));
     for path_id in 0..cover.path_count() {
         for &c in cover.path(path_id) {
             let p = match tree.parent(c) {
                 Some(p) => p,
                 None => continue, // c is the root: no edge above it
             };
-            solve_cut_into(g, tree, cover, scratch, &mut out, p, c);
+            timed(profiler, "cuts", || solve_cut_into(g, tree, cover, scratch, &mut out, p, c));
         }
     }
     out
@@ -265,15 +285,39 @@ impl ReplacementPathOracle {
     ///
     /// Panics if a source is out of range for `g`.
     pub fn build_bk_csr(g: &CsrGraph, sources: &[Vertex]) -> Self {
+        Self::build_bk_csr_impl(g, sources, &mut NoProfiler)
+    }
+
+    /// Profiled variant of [`build_bk_csr`](Self::build_bk_csr): bit-identical output,
+    /// with per-stage wall time (`"tree"` BFS trees, `"cover"` heavy-path decomposition,
+    /// `"rows"` table allocation, `"cuts"` the multi-seed cut BFS solves) accumulated
+    /// into `profile`. Experiment E12 builds its build-phase tables from this.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`build_bk_csr`](Self::build_bk_csr).
+    pub fn build_bk_csr_profiled(
+        g: &CsrGraph,
+        sources: &[Vertex],
+        profile: &mut StageProfile,
+    ) -> Self {
+        Self::build_bk_csr_impl(g, sources, profile)
+    }
+
+    fn build_bk_csr_impl<P: Profiler>(g: &CsrGraph, sources: &[Vertex], profiler: &mut P) -> Self {
         let mut bfs = BfsScratch::new();
         let mut scratch = BkScratch::new();
-        let trees: Vec<_> =
-            sources.iter().map(|&s| ShortestPathTree::build_with_scratch(g, s, &mut bfs)).collect();
+        let trees: Vec<_> = sources
+            .iter()
+            .map(|&s| {
+                timed(profiler, "tree", || ShortestPathTree::build_with_scratch(g, s, &mut bfs))
+            })
+            .collect();
         let distances = trees
             .iter()
             .map(|t| {
-                let cover = TreePathCover::build(t);
-                bk_replacement_distances(g, t, &cover, &mut scratch)
+                let cover = timed(profiler, "cover", || TreePathCover::build(t));
+                bk_replacement_distances_impl(g, t, &cover, &mut scratch, profiler)
             })
             .collect();
         Self::from_parts(sources.to_vec(), trees, distances)
@@ -417,6 +461,24 @@ mod tests {
             assert_eq!(merged.sources(), &sources);
             assert_eq!(merged.per_source(), whole.per_source(), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn profiled_build_is_bit_identical_and_covers_the_pipeline() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = connected_gnm(36, 80, &mut rng).unwrap();
+        let csr = g.freeze();
+        let sources = [0usize, 11, 22, 33];
+        let plain = ReplacementPathOracle::build_bk_csr(&csr, &sources);
+        let mut profile = StageProfile::new();
+        let profiled = ReplacementPathOracle::build_bk_csr_profiled(&csr, &sources, &mut profile);
+        assert_eq!(plain.per_source(), profiled.per_source());
+        // Every per-source stage fired once per source; cuts once per tree edge.
+        assert_eq!(profile.get("tree").unwrap().count, sources.len() as u64);
+        assert_eq!(profile.get("cover").unwrap().count, sources.len() as u64);
+        assert_eq!(profile.get("rows").unwrap().count, sources.len() as u64);
+        assert!(profile.get("cuts").unwrap().count > 0);
+        assert!(profile.total() > std::time::Duration::ZERO);
     }
 
     #[test]

@@ -45,6 +45,8 @@
 //! through [`ReplacementPathOracle::rebuild_bk_csr`] and pins the result row-for-row against
 //! `build_bk_csr` from scratch.
 
+use std::time::{Duration, Instant};
+
 use msrp_graph::{BfsScratch, CsrGraph, Edge, ShortestPathTree, TreePathCover, Vertex};
 
 use crate::bk::{bk_replacement_distances, solve_cut_into, BkScratch};
@@ -53,6 +55,11 @@ use crate::ReplacementPathOracle;
 /// Work accounting of one (or several, via [`merge`](RebuildStats::merge)) incremental
 /// rebuilds — the evidence that invalidation actually saved work over a from-scratch build,
 /// which would rebuild every source and re-solve every cut.
+///
+/// Besides the rung *counts*, each rung also accumulates the wall time its sources spent
+/// in it, so a stalled rebuild can be attributed (was the time burned re-solving dirty
+/// cuts of patched sources, or in full per-source rebuilds?). Timing is always on: one
+/// `Instant` pair per source, which is noise next to even a single BFS.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct RebuildStats {
     /// Sources the oracle covers (what a full rebuild recomputes).
@@ -67,6 +74,12 @@ pub struct RebuildStats {
     pub cuts_total: usize,
     /// Cuts actually re-solved (all cuts of rebuilt sources + dirty cuts of patched ones).
     pub cuts_recomputed: usize,
+    /// Wall time spent on sources that took the reuse rung (clone-only).
+    pub reuse_time: Duration,
+    /// Wall time spent on sources that took the patch rung (BFS + dirty-cut solves).
+    pub patch_time: Duration,
+    /// Wall time spent on sources that took the full-rebuild rung.
+    pub rebuild_time: Duration,
 }
 
 impl RebuildStats {
@@ -78,6 +91,26 @@ impl RebuildStats {
         self.sources_rebuilt += other.sources_rebuilt;
         self.cuts_total += other.cuts_total;
         self.cuts_recomputed += other.cuts_recomputed;
+        self.reuse_time += other.reuse_time;
+        self.patch_time += other.patch_time;
+        self.rebuild_time += other.rebuild_time;
+    }
+
+    /// The ladder as a table: `(rung name, sources that took it, wall time spent in it)`,
+    /// cheapest rung first. Consumed by the churn report's stage table and the metrics
+    /// exposition.
+    pub fn rungs(&self) -> [(&'static str, usize, Duration); 3] {
+        [
+            ("reuse", self.sources_reused, self.reuse_time),
+            ("patch", self.sources_patched, self.patch_time),
+            ("rebuild", self.sources_rebuilt, self.rebuild_time),
+        ]
+    }
+
+    /// Total wall time across the three rungs (≤ the caller-observed rebuild wall time,
+    /// which also covers scratch setup and shard orchestration).
+    pub fn rung_time(&self) -> Duration {
+        self.reuse_time + self.patch_time + self.rebuild_time
     }
 
     /// `true` when the incremental path did strictly less work than a from-scratch build on
@@ -137,6 +170,7 @@ impl ReplacementPathOracle {
         let mut trees = Vec::with_capacity(self.trees.len());
         let mut distances = Vec::with_capacity(self.distances.len());
         for (old_tree, old_rows) in self.trees.iter().zip(&self.distances) {
+            let rung_start = Instant::now();
             if !old_tree.is_reachable(changed.lo()) && !old_tree.is_reachable(changed.hi()) {
                 // Rung 1: the toggled edge lives entirely in a component this source never
                 // reaches (a removal keeps it unreachable; an addition between two
@@ -146,6 +180,7 @@ impl ReplacementPathOracle {
                 stats.cuts_total += old_tree.bfs_order().len().saturating_sub(1);
                 trees.push(old_tree.clone());
                 distances.push(old_rows.clone());
+                stats.reuse_time += rung_start.elapsed();
                 continue;
             }
             let new_tree = ShortestPathTree::build_with_scratch(g_new, old_tree.source(), &mut bfs);
@@ -165,12 +200,14 @@ impl ReplacementPathOracle {
                 stats.sources_patched += 1;
                 trees.push(new_tree);
                 distances.push(rows);
+                stats.patch_time += rung_start.elapsed();
             } else {
                 // Rung 3: the shortest-path forest changed; rebuild this source outright.
                 stats.cuts_recomputed += new_tree.bfs_order().len().saturating_sub(1);
                 stats.sources_rebuilt += 1;
                 distances.push(bk_replacement_distances(g_new, &new_tree, &cover, &mut scratch));
                 trees.push(new_tree);
+                stats.rebuild_time += rung_start.elapsed();
             }
         }
         (Self::from_parts(self.sources.clone(), trees, distances), stats)
@@ -223,13 +260,22 @@ mod tests {
             }
             toggle(&mut g, e);
             let csr = g.freeze();
+            let wall_start = Instant::now();
             let (next, stats) = oracle.rebuild_bk_csr(&csr, e);
+            let wall = wall_start.elapsed();
             assert_eq!(
                 stats.sources_reused + stats.sources_patched + stats.sources_rebuilt,
                 stats.sources_total,
                 "step {step}: every source takes exactly one rung"
             );
             assert!(stats.cuts_recomputed <= stats.cuts_total, "step {step}");
+            assert!(stats.rung_time() <= wall, "step {step}: rung times cannot exceed wall");
+            for (name, count, time) in stats.rungs() {
+                assert!(
+                    count > 0 || time == Duration::ZERO,
+                    "step {step}: rung {name} charged {time:?} with no sources"
+                );
+            }
             assert_equals_scratch_build(&next, &csr);
             agg.merge(&stats);
             oracle = next;
@@ -292,6 +338,8 @@ mod tests {
         let (next, stats) = oracle.rebuild_bk_csr(&g.freeze(), far);
         assert_eq!(stats.sources_reused, 2);
         assert_eq!(stats.cuts_recomputed, 0);
+        assert_eq!(stats.patch_time, Duration::ZERO, "no time may be charged to idle rungs");
+        assert_eq!(stats.rebuild_time, Duration::ZERO);
         assert_equals_scratch_build(&next, &g.freeze());
     }
 

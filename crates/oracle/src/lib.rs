@@ -25,7 +25,9 @@
 pub mod bk;
 pub mod incremental;
 
-pub use bk::{bk_replacement_distances, build_bk_shards, build_bk_shards_csr, BkScratch};
+pub use bk::{
+    bk_replacement_distances, build_bk_shards, build_bk_shards_csr, BkScratch, BK_STAGES,
+};
 pub use incremental::RebuildStats;
 
 use msrp_core::{solve_msrp_csr, solve_msrp_weighted, MsrpOutput, MsrpParams, WeightedMsrpOutput};

@@ -12,6 +12,8 @@
 //!   ([`submit`](QueryService::submit)), and graceful shutdown;
 //! * [`metrics`] — log-bucketed latency histograms (p50/p99/max) and per-shard/per-worker
 //!   throughput counters;
+//! * [`exposition`] — a Prometheus-style text rendering of those metrics (plus span-journal
+//!   and slow-query families from `msrp-obs`), served over the wire by the `METRICS` verb;
 //! * [`loadgen`] — a deterministic, seed-pinned closed-loop load generator for driving the
 //!   service from N client threads;
 //! * [`protocol`] — the newline-delimited text protocol spoken by the TCP front end
@@ -46,19 +48,22 @@
 #![warn(missing_docs)]
 
 pub mod epoch;
+pub mod exposition;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
 pub mod service;
 
 pub use epoch::{Epoch, EpochOracle};
+pub use exposition::{render_exposition, ObsReport};
 pub use loadgen::{random_queries, run_closed_loop, run_closed_loop_on, LoadConfig, LoadReport};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, MetricsSnapshot, ServiceMetrics};
 pub use protocol::{
-    format_answer, format_query, format_weighted_answer, format_weighted_query, parse_answer,
-    parse_request, parse_weighted_answer, validate_query, ProtocolError, Request,
+    format_answer, format_metrics_header, format_query, format_stats, format_weighted_answer,
+    format_weighted_query, parse_answer, parse_metrics_header, parse_request, parse_stats,
+    parse_weighted_answer, validate_query, ProtocolError, Request, StatsReply,
 };
 pub use service::{
-    PendingBatch, Query, QueryService, RouteOracle, ServiceConfig, ShardedOracle,
-    WeightedShardedOracle,
+    BatchStage, ObsConfig, PendingBatch, Query, QueryService, RouteOracle, ServiceConfig,
+    ShardedOracle, WeightedShardedOracle,
 };

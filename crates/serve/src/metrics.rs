@@ -20,7 +20,15 @@ const BUCKET_COUNT: usize = 64;
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKET_COUNT],
     count: AtomicU64,
-    sum_ns: AtomicU64,
+    /// Low word of the 128-bit nanosecond sum. A single `u64` of nanoseconds wraps after
+    /// ~21 months of accumulated latency — reachable at sustained load — and a wrapped sum
+    /// silently corrupts the mean, so the accumulator is widened instead: `sum_lo` wraps
+    /// freely and `sum_hi` counts the wraps.
+    sum_lo: AtomicU64,
+    /// High word of the nanosecond sum: incremented once per `sum_lo` wrap. `fetch_add` is
+    /// linearizable, so exactly one recorder observes each 2^64 crossing (its pre-add value
+    /// plus its addend overflows) and carries.
+    sum_hi: AtomicU64,
     max_ns: AtomicU64,
 }
 
@@ -30,7 +38,8 @@ impl LatencyHistogram {
         LatencyHistogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
-            sum_ns: AtomicU64::new(0),
+            sum_lo: AtomicU64::new(0),
+            sum_hi: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
         }
     }
@@ -48,17 +57,26 @@ impl LatencyHistogram {
         let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
         self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        // Wrapping fetch_add plus carry detection: the recorder whose addend crossed the
+        // 2^64 boundary (pre-add value + addend overflows) bumps the high word, and
+        // linearizability of fetch_add guarantees every crossing has exactly one such
+        // recorder — the sum stays exact for centuries of accumulated latency.
+        let prev = self.sum_lo.fetch_add(ns, Ordering::Relaxed);
+        if prev.checked_add(ns).is_none() {
+            self.sum_hi.fetch_add(1, Ordering::Relaxed);
+        }
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
     /// Takes a consistent-enough snapshot for reporting (individual counters are read
     /// atomically; the histogram keeps absorbing samples while a snapshot is taken).
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let hi = self.sum_hi.load(Ordering::Relaxed);
+        let lo = self.sum_lo.load(Ordering::Relaxed);
         HistogramSnapshot {
             buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
             count: self.count.load(Ordering::Relaxed),
-            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            sum_ns: (u128::from(hi) << 64) | u128::from(lo),
             max_ns: self.max_ns.load(Ordering::Relaxed),
         }
     }
@@ -79,8 +97,9 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<u64>,
     /// Total number of samples.
     pub count: u64,
-    /// Sum of all samples in nanoseconds.
-    pub sum_ns: u64,
+    /// Sum of all samples in nanoseconds. 128-bit: the histogram's accumulator carries
+    /// across `u64` wraps, so the sum (and hence the mean) stays exact at any load.
+    pub sum_ns: u128,
     /// Largest sample in nanoseconds (exact, not bucketed).
     pub max_ns: u64,
 }
@@ -126,9 +145,27 @@ impl HistogramSnapshot {
         Duration::from_nanos(self.max_ns)
     }
 
-    /// Mean latency.
+    /// Mean latency (exact: the 128-bit sum never wraps).
     pub fn mean(&self) -> Duration {
-        Duration::from_nanos(self.sum_ns.checked_div(self.count).unwrap_or(0))
+        let mean_ns = self.sum_ns.checked_div(u128::from(self.count)).unwrap_or(0);
+        Duration::from_nanos(mean_ns.min(u128::from(u64::MAX)) as u64)
+    }
+
+    /// Combines two snapshots into one as if every sample had been recorded into a single
+    /// histogram: bucket-wise sums, summed counts and sums, max of maxes. Associative and
+    /// commutative (pinned by `tests/metrics_properties.rs`), so shard- or worker-local
+    /// histograms can be folded in any order.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let len = self.buckets.len().max(other.buckets.len());
+        let bucket = |v: &[u64], i: usize| v.get(i).copied().unwrap_or(0);
+        HistogramSnapshot {
+            buckets: (0..len)
+                .map(|i| bucket(&self.buckets, i) + bucket(&other.buckets, i))
+                .collect(),
+            count: self.count + other.count,
+            sum_ns: self.sum_ns + other.sum_ns,
+            max_ns: self.max_ns.max(other.max_ns),
+        }
     }
 
     /// One-line human-readable summary (`n=… p50=… p99=… max=…`).
@@ -166,6 +203,9 @@ pub struct ServiceMetrics {
     sources_rebuilt_total: AtomicU64,
     cuts_recomputed_total: AtomicU64,
     cuts_total: AtomicU64,
+    reuse_time_ns: AtomicU64,
+    patch_time_ns: AtomicU64,
+    rebuild_time_ns: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -186,6 +226,9 @@ impl ServiceMetrics {
             sources_rebuilt_total: AtomicU64::new(0),
             cuts_recomputed_total: AtomicU64::new(0),
             cuts_total: AtomicU64::new(0),
+            reuse_time_ns: AtomicU64::new(0),
+            patch_time_ns: AtomicU64::new(0),
+            rebuild_time_ns: AtomicU64::new(0),
         }
     }
 
@@ -207,6 +250,10 @@ impl ServiceMetrics {
         self.sources_rebuilt_total.fetch_add(stats.sources_rebuilt as u64, Ordering::Relaxed);
         self.cuts_recomputed_total.fetch_add(stats.cuts_recomputed as u64, Ordering::Relaxed);
         self.cuts_total.fetch_add(stats.cuts_total as u64, Ordering::Relaxed);
+        let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.reuse_time_ns.fetch_add(ns(stats.reuse_time), Ordering::Relaxed);
+        self.patch_time_ns.fetch_add(ns(stats.patch_time), Ordering::Relaxed);
+        self.rebuild_time_ns.fetch_add(ns(stats.rebuild_time), Ordering::Relaxed);
     }
 
     /// Flushes one batch's worth of routing counts: `shard_counts[i]` queries were routed to
@@ -253,6 +300,9 @@ impl ServiceMetrics {
                 sources_rebuilt: self.sources_rebuilt_total.load(Ordering::Relaxed) as usize,
                 cuts_total: self.cuts_total.load(Ordering::Relaxed) as usize,
                 cuts_recomputed: self.cuts_recomputed_total.load(Ordering::Relaxed) as usize,
+                reuse_time: Duration::from_nanos(self.reuse_time_ns.load(Ordering::Relaxed)),
+                patch_time: Duration::from_nanos(self.patch_time_ns.load(Ordering::Relaxed)),
+                rebuild_time: Duration::from_nanos(self.rebuild_time_ns.load(Ordering::Relaxed)),
             },
         }
     }
@@ -349,6 +399,9 @@ mod tests {
             sources_rebuilt: 1,
             cuts_total: 40,
             cuts_recomputed: 9,
+            reuse_time: Duration::from_nanos(300),
+            patch_time: Duration::from_micros(4),
+            rebuild_time: Duration::from_micros(20),
         };
         m.record_epoch_swap(1, Duration::from_micros(80), Duration::from_micros(50), &stats);
         m.record_epoch_swap(2, Duration::from_micros(120), Duration::from_micros(60), &stats);
@@ -360,6 +413,38 @@ mod tests {
         expected.merge(&stats);
         assert_eq!(snap.rebuild, expected);
         assert!(snap.rebuild.strictly_less_than_full());
+    }
+
+    #[test]
+    fn sum_survives_the_u64_wrap_boundary() {
+        // Regression: the old accumulator was a single wrapping u64 of nanoseconds, so two
+        // maximal samples wrapped it to u64::MAX - 1 and the mean silently collapsed. The
+        // widened accumulator must carry across the boundary and keep the mean exact.
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(u64::MAX));
+        h.record(Duration::from_nanos(u64::MAX));
+        h.record(Duration::from_nanos(2));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        let true_sum = 2 * u128::from(u64::MAX) + 2;
+        assert_eq!(snap.sum_ns, true_sum, "sum must not wrap");
+        assert!(snap.sum_ns > u128::from(u64::MAX), "the boundary was actually crossed");
+        assert_eq!(snap.mean(), Duration::from_nanos((true_sum / 3) as u64));
+    }
+
+    #[test]
+    fn merge_combines_like_a_single_histogram() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let both = LatencyHistogram::new();
+        for (h, ns) in [(&a, 100u64), (&a, 5000), (&b, 70), (&b, 1 << 30)] {
+            h.record(Duration::from_nanos(ns));
+            both.record(Duration::from_nanos(ns));
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
+        // Merging with an empty snapshot is the identity.
+        assert_eq!(merged.merge(&LatencyHistogram::new().snapshot()), merged);
     }
 
     #[test]

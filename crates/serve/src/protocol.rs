@@ -9,8 +9,16 @@
 //! QW <source> <target> <u> <v>  one *weighted* query, served by the weighted oracle
 //! BW <k>                        weighted batch header: exactly k `QW` lines follow
 //! STATS                         one reply line summarizing the service metrics
+//! METRICS                       length-delimited Prometheus-style text exposition
 //! QUIT                          close the connection
 //! ```
+//!
+//! The `STATS` reply is itself machine-parseable (see [`StatsReply`]): a pinned sequence of
+//! `key=value` tokens carrying totals, the served epoch, and the p99s of the batch-latency,
+//! staleness-window, and rebuild-latency histograms. The `METRICS` reply is multi-line, so
+//! it is length-delimited like batches are: a `METRICS <k>` header line followed by exactly
+//! `k` lines of exposition text (rendered by
+//! [`render_exposition`](crate::exposition::render_exposition)).
 //!
 //! Answers are a single token per query: a decimal distance (hop count for `Q`/`B`, weight
 //! for `QW`/`BW`), `INF` (the failure disconnects the target), or `NOSRC` (the queried
@@ -23,6 +31,7 @@ use std::str::FromStr;
 
 use msrp_graph::{Distance, Edge, Weight, INFINITE_DISTANCE, INFINITE_WEIGHT};
 
+use crate::metrics::MetricsSnapshot;
 use crate::service::Query;
 
 /// A parsed request line.
@@ -36,8 +45,10 @@ pub enum Request {
     WeightedQuery(Query),
     /// `BW k` — a weighted batch of `k` queries follows, one `QW` line each.
     WeightedBatch(usize),
-    /// `STATS` — report service metrics.
+    /// `STATS` — report service metrics as one `key=value` line.
     Stats,
+    /// `METRICS` — report the full Prometheus-style text exposition (length-delimited).
+    Metrics,
     /// `QUIT` — close the connection.
     Quit,
 }
@@ -92,6 +103,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "B" => Request::Batch(parse_token(tokens.next(), "batch size")?),
         "BW" => Request::WeightedBatch(parse_token(tokens.next(), "batch size")?),
         "STATS" => Request::Stats,
+        "METRICS" => Request::Metrics,
         "QUIT" => Request::Quit,
         other => return Err(ProtocolError::new(format!("unknown verb `{other}`"))),
     };
@@ -189,6 +201,154 @@ pub fn parse_weighted_answer(line: &str) -> Result<Option<Weight>, ProtocolError
     }
 }
 
+/// The parsed form of a `STATS` reply line.
+///
+/// The wire format is pinned (round-trip tested): seven `key=value` tokens, in exactly this
+/// order, after the `STATS` prefix:
+///
+/// ```text
+/// STATS queries=<u64> unroutable=<u64> epoch=<u64> batch_p50_ns=<u64> batch_p99_ns=<u64>
+///       staleness_p99_ns=<u64> rebuild_p99_ns=<u64>
+/// ```
+///
+/// Quantiles are log₂-bucket upper bounds in nanoseconds (see
+/// [`HistogramSnapshot::quantile`](crate::HistogramSnapshot::quantile)); the staleness and
+/// rebuild fields are zero until the first epoch swap. Dashboards that need more than seven
+/// numbers should speak `METRICS` instead — `STATS` stays a one-line health probe.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Total queries answered (including unroutable ones).
+    pub queries: u64,
+    /// Queries no shard could serve.
+    pub unroutable: u64,
+    /// Currently served epoch id (0 until the first churn swap).
+    pub epoch: u64,
+    /// Median batch compute latency, in nanoseconds.
+    pub batch_p50_ns: u64,
+    /// 99th-percentile batch compute latency, in nanoseconds.
+    pub batch_p99_ns: u64,
+    /// 99th-percentile staleness window of epoch swaps, in nanoseconds.
+    pub staleness_p99_ns: u64,
+    /// 99th-percentile oracle rebuild latency of epoch swaps, in nanoseconds.
+    pub rebuild_p99_ns: u64,
+}
+
+/// Key names of the `STATS` reply, in wire order. `parse_stats` enforces this order exactly,
+/// so the format cannot drift without the round-trip test noticing.
+const STATS_KEYS: [&str; 7] = [
+    "queries",
+    "unroutable",
+    "epoch",
+    "batch_p50_ns",
+    "batch_p99_ns",
+    "staleness_p99_ns",
+    "rebuild_p99_ns",
+];
+
+impl StatsReply {
+    /// Derives the reply from a metrics snapshot.
+    pub fn from_snapshot(m: &MetricsSnapshot) -> Self {
+        let p99_ns = |h: &crate::HistogramSnapshot| h.p99().as_nanos().min(u64::MAX.into()) as u64;
+        StatsReply {
+            queries: m.queries_total,
+            unroutable: m.unroutable_total,
+            epoch: m.epoch,
+            batch_p50_ns: m.batch_latency.p50().as_nanos().min(u64::MAX.into()) as u64,
+            batch_p99_ns: p99_ns(&m.batch_latency),
+            staleness_p99_ns: p99_ns(&m.staleness_window),
+            rebuild_p99_ns: p99_ns(&m.rebuild_latency),
+        }
+    }
+
+    fn values(&self) -> [u64; 7] {
+        [
+            self.queries,
+            self.unroutable,
+            self.epoch,
+            self.batch_p50_ns,
+            self.batch_p99_ns,
+            self.staleness_p99_ns,
+            self.rebuild_p99_ns,
+        ]
+    }
+}
+
+impl fmt::Display for StatsReply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "STATS")?;
+        for (key, value) in STATS_KEYS.iter().zip(self.values()) {
+            write!(f, " {key}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders the `STATS` reply line (without the newline) for a metrics snapshot.
+pub fn format_stats(m: &MetricsSnapshot) -> String {
+    StatsReply::from_snapshot(m).to_string()
+}
+
+/// Parses a `STATS` reply line (the inverse of [`format_stats`]).
+///
+/// Strict by design: the prefix, every key, and the key *order* must match [`StatsReply`]'s
+/// pinned format, and no trailing tokens are allowed — a client that parses today keeps
+/// parsing tomorrow, or this function's tests fail loudly first.
+pub fn parse_stats(line: &str) -> Result<StatsReply, ProtocolError> {
+    let mut tokens = line.split_whitespace();
+    match tokens.next() {
+        Some("STATS") => {}
+        _ => return Err(ProtocolError::new("stats reply must start with STATS")),
+    }
+    let mut values = [0u64; 7];
+    for (key, slot) in STATS_KEYS.iter().zip(values.iter_mut()) {
+        let token = tokens
+            .next()
+            .ok_or_else(|| ProtocolError::new(format!("missing stats field `{key}`")))?;
+        let value = token
+            .strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix('='))
+            .ok_or_else(|| ProtocolError::new(format!("expected `{key}=…`, got `{token}`")))?;
+        *slot = value
+            .parse()
+            .map_err(|_| ProtocolError::new(format!("malformed stats value `{token}`")))?;
+    }
+    if tokens.next().is_some() {
+        return Err(ProtocolError::new("trailing tokens in stats reply"));
+    }
+    let [queries, unroutable, epoch, batch_p50_ns, batch_p99_ns, staleness_p99_ns, rebuild_p99_ns] =
+        values;
+    Ok(StatsReply {
+        queries,
+        unroutable,
+        epoch,
+        batch_p50_ns,
+        batch_p99_ns,
+        staleness_p99_ns,
+        rebuild_p99_ns,
+    })
+}
+
+/// Renders the `METRICS` reply header (without the newline): exactly `lines` lines of
+/// exposition text follow it.
+pub fn format_metrics_header(lines: usize) -> String {
+    format!("METRICS {lines}")
+}
+
+/// Parses a `METRICS <k>` reply header, returning the number of exposition lines that
+/// follow (the inverse of [`format_metrics_header`]).
+pub fn parse_metrics_header(line: &str) -> Result<usize, ProtocolError> {
+    let mut tokens = line.split_whitespace();
+    match tokens.next() {
+        Some("METRICS") => {}
+        _ => return Err(ProtocolError::new("metrics reply must start with METRICS")),
+    }
+    let count = parse_token(tokens.next(), "metrics line count")?;
+    if tokens.next().is_some() {
+        return Err(ProtocolError::new("trailing tokens in metrics header"));
+    }
+    Ok(count)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +404,86 @@ mod tests {
         }
         assert!(parse_answer("x").is_err());
         assert!(parse_answer("4294967295").is_err(), "INFINITE_DISTANCE must be spelled INF");
+    }
+
+    #[test]
+    fn metrics_verb_parses_strictly() {
+        assert_eq!(parse_request("METRICS"), Ok(Request::Metrics));
+        assert_eq!(parse_request("  METRICS  "), Ok(Request::Metrics));
+        for line in ["METRIC", "metrics", "METRICS 3", "METRICS now please", "METRICSX"] {
+            assert!(parse_request(line).is_err(), "line {line:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn stats_reply_round_trips_and_the_format_is_pinned() {
+        use crate::metrics::ServiceMetrics;
+        use msrp_oracle::RebuildStats;
+        use std::time::Duration;
+        let m = ServiceMetrics::new(2, 2);
+        m.record_batch_queries(&[5, 7], 1);
+        m.record_batch(0, Duration::from_nanos(100)); // bucket upper bound 128
+        m.record_epoch_swap(
+            3,
+            Duration::from_nanos(1000), // bucket upper bound 1024
+            Duration::from_nanos(500),  // bucket upper bound 512
+            &RebuildStats::default(),
+        );
+        let line = format_stats(&m.snapshot());
+        assert_eq!(
+            line,
+            "STATS queries=13 unroutable=1 epoch=3 batch_p50_ns=128 batch_p99_ns=128 \
+             staleness_p99_ns=1024 rebuild_p99_ns=512",
+            "the STATS wire format is pinned; update parse_stats and this test together"
+        );
+        let reply = parse_stats(&line).expect("pinned format must parse");
+        assert_eq!(reply, StatsReply::from_snapshot(&m.snapshot()));
+        assert_eq!(parse_stats(&reply.to_string()), Ok(reply), "round trip");
+    }
+
+    #[test]
+    fn stats_reply_of_a_fresh_service_is_all_zeros_and_parses() {
+        use crate::metrics::ServiceMetrics;
+        let line = format_stats(&ServiceMetrics::new(1, 1).snapshot());
+        let reply = parse_stats(&line).unwrap();
+        assert_eq!(reply.queries, 0);
+        assert_eq!(reply.epoch, 0);
+        assert_eq!(reply.staleness_p99_ns, 0, "no swap yet → zero, not garbage");
+    }
+
+    #[test]
+    fn malformed_stats_replies_are_rejected() {
+        let good = "STATS queries=1 unroutable=0 epoch=0 batch_p50_ns=0 batch_p99_ns=0 \
+                    staleness_p99_ns=0 rebuild_p99_ns=0";
+        assert!(parse_stats(good).is_ok());
+        for line in [
+            "",
+            "STATS",
+            "STAT queries=1",
+            // Reordered keys: the order is part of the pinned format.
+            "STATS unroutable=0 queries=1 epoch=0 batch_p50_ns=0 batch_p99_ns=0 \
+             staleness_p99_ns=0 rebuild_p99_ns=0",
+            // Malformed value.
+            "STATS queries=x unroutable=0 epoch=0 batch_p50_ns=0 batch_p99_ns=0 \
+             staleness_p99_ns=0 rebuild_p99_ns=0",
+            // Missing last field.
+            "STATS queries=1 unroutable=0 epoch=0 batch_p50_ns=0 batch_p99_ns=0 \
+             staleness_p99_ns=0",
+        ] {
+            assert!(parse_stats(line).is_err(), "line {line:?} must be rejected");
+        }
+        // Trailing tokens are rejected too.
+        assert!(parse_stats(&format!("{good} extra=1")).is_err());
+    }
+
+    #[test]
+    fn metrics_headers_round_trip() {
+        for n in [0usize, 1, 57, 4096] {
+            assert_eq!(parse_metrics_header(&format_metrics_header(n)), Ok(n));
+        }
+        for line in ["", "METRICS", "METRICS x", "METRICS -1", "METRICS 3 4", "STATS 3"] {
+            assert!(parse_metrics_header(line).is_err(), "line {line:?} must be rejected");
+        }
     }
 
     #[test]

@@ -18,15 +18,17 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use msrp_core::MsrpParams;
 use msrp_graph::{CsrGraph, Distance, Edge, Graph, Vertex, Weight, WeightedCsrGraph};
+use msrp_obs::{JournalSnapshot, SlowEntry, SlowLog, SpanJournal, TraceIdGen};
 use msrp_oracle::{
     build_shards, build_shards_csr, build_weighted_shards, RebuildStats, ReplacementPathOracle,
     WeightedReplacementOracle,
 };
 
+use crate::exposition::{render_exposition, ObsReport};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 
 /// One replacement-path query: `QUERY(source, target, avoid)`.
@@ -400,10 +402,101 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Observability configuration of a [`QueryService`], separate from [`ServiceConfig`] so
+/// the many existing construction sites stay untouched: tracing is opt-in via
+/// [`QueryService::start_observed`], and the default (all off) is what plain
+/// [`QueryService::start`] uses.
+#[derive(Clone, Debug)]
+pub struct ObsConfig {
+    /// Capacity of the span journal ring buffer; `0` disables span tracing entirely.
+    pub journal_capacity: usize,
+    /// Batches at least this slow are captured — full `(s, t, e)` queries included — in
+    /// the slow-query log; `None` disables the log.
+    pub slow_query_threshold: Option<Duration>,
+    /// Entries the slow-query log retains (most recent win).
+    pub slow_log_capacity: usize,
+    /// Seed of the batch trace-id sequence: ids depend only on `(seed, submission index)`,
+    /// so a seed-pinned workload produces the same trace ids on every run.
+    pub trace_seed: u64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            journal_capacity: 0,
+            slow_query_threshold: None,
+            slow_log_capacity: 64,
+            trace_seed: 0,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// `true` when any observability feature is on.
+    pub fn enabled(&self) -> bool {
+        self.journal_capacity > 0 || self.slow_query_threshold.is_some()
+    }
+}
+
+/// The per-batch span stages the worker pool journals. Wire/display names are the
+/// lower-snake forms (`queue_wait`, `compute`, `reply`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BatchStage {
+    /// Submit → dequeue: time the batch sat in the mpsc queue.
+    QueueWait,
+    /// Dequeue → answers ready: the oracle consultation (this is also what the
+    /// `batch_latency` histogram records).
+    Compute,
+    /// Answers ready → reply sent on the batch's channel.
+    Reply,
+}
+
+impl BatchStage {
+    /// All stages, in batch-lifecycle order.
+    pub const ALL: [BatchStage; 3] =
+        [BatchStage::QueueWait, BatchStage::Compute, BatchStage::Reply];
+
+    /// Stable journal stage code.
+    pub fn code(self) -> u16 {
+        match self {
+            BatchStage::QueueWait => 0,
+            BatchStage::Compute => 1,
+            BatchStage::Reply => 2,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub fn from_code(code: u16) -> Option<BatchStage> {
+        BatchStage::ALL.into_iter().find(|s| s.code() == code)
+    }
+
+    /// Display/exposition label.
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchStage::QueueWait => "queue_wait",
+            BatchStage::Compute => "compute",
+            BatchStage::Reply => "reply",
+        }
+    }
+}
+
+/// The observability state shared by the pool and its accessors (present only when
+/// [`ObsConfig::enabled`]).
+#[derive(Debug)]
+struct ServiceObs {
+    journal: Option<SpanJournal>,
+    trace_ids: TraceIdGen,
+    slow: Option<SlowLog<Vec<Query>>>,
+}
+
 /// A batch submitted to the service together with the channel its answers travel back on.
 struct Job<A> {
     queries: Vec<Query>,
     reply: Sender<Vec<Option<A>>>,
+    /// When the batch was enqueued (the start of its queue-wait span).
+    submitted: Instant,
+    /// Seed-stable trace id (0 when observability is off).
+    trace_id: u64,
 }
 
 /// A handle to a batch in flight; redeem it with [`wait`](PendingBatch::wait). The answer
@@ -446,14 +539,35 @@ pub struct QueryService<O: RouteOracle = ShardedOracle> {
     workers: Vec<JoinHandle<()>>,
     oracle: Arc<O>,
     metrics: Arc<ServiceMetrics>,
+    obs: Option<Arc<ServiceObs>>,
 }
 
 impl<O: RouteOracle> QueryService<O> {
-    /// Starts the worker pool over the given sharded oracle.
+    /// Starts the worker pool over the given sharded oracle, with observability off
+    /// (equivalent to [`start_observed`](Self::start_observed) with `ObsConfig::default()`).
     pub fn start(oracle: O, config: &ServiceConfig) -> Self {
+        Self::start_observed(oracle, config, &ObsConfig::default())
+    }
+
+    /// Starts the worker pool with span tracing and/or slow-query logging per `obs`.
+    ///
+    /// When tracing is on, every batch journals three spans — queue-wait (submit →
+    /// dequeue), compute (the oracle consultation), reply (answer channel send) — under a
+    /// seed-stable trace id, and batches slower than the configured threshold are captured
+    /// whole in the slow-query log. When `obs` is all-off (the default), the only hot-path
+    /// additions over the untraced pool are one `Instant::now()` per submit and one branch
+    /// per batch (measured in `BENCH_obs.json`).
+    pub fn start_observed(oracle: O, config: &ServiceConfig, obs: &ObsConfig) -> Self {
         let worker_count = config.workers.max(1);
         let oracle = Arc::new(oracle);
         let metrics = Arc::new(ServiceMetrics::new(oracle.shard_count(), worker_count));
+        let obs_state = obs.enabled().then(|| {
+            Arc::new(ServiceObs {
+                journal: (obs.journal_capacity > 0).then(|| SpanJournal::new(obs.journal_capacity)),
+                trace_ids: TraceIdGen::new(obs.trace_seed),
+                slow: obs.slow_query_threshold.map(|t| SlowLog::new(obs.slow_log_capacity, t)),
+            })
+        });
         let (sender, receiver) = channel::<Job<O::Answer>>();
         let receiver = Arc::new(Mutex::new(receiver));
         let workers = (0..worker_count)
@@ -461,6 +575,7 @@ impl<O: RouteOracle> QueryService<O> {
                 let receiver = Arc::clone(&receiver);
                 let oracle = Arc::clone(&oracle);
                 let metrics = Arc::clone(&metrics);
+                let obs = obs_state.clone();
                 std::thread::spawn(move || {
                     loop {
                         // Hold the queue lock only while dequeueing, never while answering.
@@ -486,24 +601,49 @@ impl<O: RouteOracle> QueryService<O> {
                                 answer
                             })
                             .collect();
+                        let computed = Instant::now();
                         metrics.record_batch_queries(&shard_counts, unroutable);
-                        metrics.record_batch(worker_id, start.elapsed());
+                        metrics.record_batch(worker_id, computed.duration_since(start));
                         // The submitter may have given up waiting; that is not an error.
                         let _ = job.reply.send(answers);
+                        if let Some(obs) = obs.as_deref() {
+                            let worker = worker_id as u32;
+                            if let Some(journal) = &obs.journal {
+                                let spans = [
+                                    (BatchStage::QueueWait, start.duration_since(job.submitted)),
+                                    (BatchStage::Compute, computed.duration_since(start)),
+                                    (BatchStage::Reply, computed.elapsed()),
+                                ];
+                                for (stage, duration) in spans {
+                                    journal.record(job.trace_id, stage.code(), worker, duration);
+                                }
+                            }
+                            if let Some(slow) = &obs.slow {
+                                // Submit → reply done: the latency a waiting client sees.
+                                let total = job.submitted.elapsed();
+                                slow.observe(job.trace_id, total, || job.queries.clone());
+                            }
+                        }
                     }
                 })
             })
             .collect();
-        QueryService { sender: Some(sender), workers, oracle, metrics }
+        QueryService { sender: Some(sender), workers, oracle, metrics, obs: obs_state }
     }
 
     /// Enqueues a batch without waiting for it; pair with [`PendingBatch::wait`].
     pub fn submit(&self, queries: &[Query]) -> PendingBatch<O::Answer> {
         let (reply_tx, reply_rx) = channel();
+        let trace_id = self.obs.as_deref().map_or(0, |o| o.trace_ids.next_id());
         self.sender
             .as_ref()
             .expect("service is running")
-            .send(Job { queries: queries.to_vec(), reply: reply_tx })
+            .send(Job {
+                queries: queries.to_vec(),
+                reply: reply_tx,
+                submitted: Instant::now(),
+                trace_id,
+            })
             .expect("service queue is open while the service is alive");
         PendingBatch { reply: reply_rx }
     }
@@ -534,6 +674,33 @@ impl<O: RouteOracle> QueryService<O> {
     /// serving).
     pub fn shared_metrics(&self) -> Arc<ServiceMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// Snapshot of the span journal, or `None` when tracing is off.
+    pub fn journal_snapshot(&self) -> Option<JournalSnapshot> {
+        self.obs.as_deref().and_then(|o| o.journal.as_ref()).map(|j| j.snapshot())
+    }
+
+    /// The retained slow-query entries, oldest first (empty when the log is off).
+    pub fn slow_queries(&self) -> Vec<SlowEntry<Vec<Query>>> {
+        self.obs.as_deref().and_then(|o| o.slow.as_ref()).map(|s| s.snapshot()).unwrap_or_default()
+    }
+
+    /// Total batches that ever exceeded the slow-query threshold (including evicted ones).
+    pub fn slow_queries_total(&self) -> u64 {
+        self.obs.as_deref().and_then(|o| o.slow.as_ref()).map_or(0, |s| s.recorded())
+    }
+
+    /// Renders the Prometheus-style text exposition of the service's current state:
+    /// the [`MetricsSnapshot`] families plus, when observability is on, the journal and
+    /// slow-query families. This is what the `METRICS` wire verb serves.
+    pub fn render_metrics(&self) -> String {
+        let obs_report = self.obs.as_deref().map(|o| ObsReport {
+            journal: o.journal.as_ref().map(|j| j.snapshot()),
+            slow_total: o.slow.as_ref().map_or(0, |s| s.recorded()),
+            slow_threshold: o.slow.as_ref().map(|s| s.threshold()),
+        });
+        render_exposition(&self.metrics.snapshot(), obs_report.as_ref())
     }
 
     /// Gracefully shuts down: closes the queue, drains queued batches, joins every worker,

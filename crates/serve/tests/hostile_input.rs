@@ -8,13 +8,15 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use msrp_core::MsrpParams;
 use msrp_graph::generators::{connected_gnm, weighted_connected_gnm};
 use msrp_graph::{Edge, Graph};
+use msrp_obs::is_well_formed;
 use msrp_serve::{
-    parse_request, validate_query, Epoch, EpochOracle, Query, QueryService, Request, ServiceConfig,
-    ShardedOracle,
+    format_stats, parse_request, parse_stats, validate_query, Epoch, EpochOracle, ObsConfig, Query,
+    QueryService, Request, ServiceConfig, ShardedOracle,
 };
 
 const N: usize = 48;
@@ -34,15 +36,16 @@ fn service_under_test() -> QueryService {
 /// a grammatically valid `Q` line whose ids may still be wildly out of range (the shape the
 /// headline bug was triggered by).
 fn hostile_line(rng: &mut StdRng) -> String {
-    let verb = match rng.gen_range(0..14usize) {
+    let verb = match rng.gen_range(0..15usize) {
         0..=4 => "Q",
         5..=6 => "QW",
         7 => "B",
         8 => "BW",
         9 => "STATS",
-        10 => "QUIT",
-        11 => "q",
-        12 => "FLY",
+        10 => "METRICS",
+        11 => "QUIT",
+        12 => "q",
+        13 => "FLY",
         _ => "",
     };
     let token = |rng: &mut StdRng| -> String {
@@ -78,6 +81,7 @@ fn fuzzed_lines_never_kill_a_worker() {
         match parse_request(&line) {
             Err(_) => rejected_lines += 1,
             Ok(Request::Stats)
+            | Ok(Request::Metrics)
             | Ok(Request::Quit)
             | Ok(Request::Batch(_))
             | Ok(Request::WeightedBatch(_)) => {}
@@ -263,6 +267,98 @@ fn churn_storm_never_mixes_epochs_within_a_batch() {
     assert_eq!(metrics.rebuild_latency.count, 8);
     assert_eq!(metrics.rebuild.sources_total, 8 * SOURCES.len());
     assert!(metrics.queries_total > 0);
+}
+
+/// The metrics plane under the storm: `METRICS` parses strictly however it is mangled, and
+/// the exposition rendered *while* epoch swaps and hostile batches are in flight is
+/// well-formed on every single scrape — a scraper never sees a torn or malformed page, the
+/// pinned `STATS` grammar round-trips mid-storm, and no worker dies serving either verb.
+#[test]
+fn metrics_scrapes_stay_well_formed_during_epoch_swap_storm() {
+    // Parse-boundary hostility first: only the bare verb is the verb.
+    assert_eq!(parse_request("METRICS"), Ok(Request::Metrics));
+    for line in ["METRIC", "METRICSS", "metrics", "METRICS 1", "METRICS x", "METRICS METRICS"] {
+        assert!(parse_request(line).is_err(), "line {line:?} must be rejected at parse");
+    }
+    let mut rng = StdRng::seed_from_u64(76);
+    let g0 = connected_gnm(N, 130, &mut rng).unwrap();
+    let oracle0 = ShardedOracle::build_bk_csr(&g0.freeze(), &SOURCES, 2);
+    let service = QueryService::start_observed(
+        EpochOracle::new(oracle0),
+        &ServiceConfig { workers: 3 },
+        &ObsConfig {
+            // Deliberately tiny ring: the storm must wrap it, so scrapes race overwrites.
+            journal_capacity: 64,
+            slow_query_threshold: Some(Duration::ZERO),
+            slow_log_capacity: 4,
+            trace_seed: 0xFEED,
+        },
+    );
+    std::thread::scope(|scope| {
+        let swapper = scope.spawn(|| {
+            let mut g = g0.clone();
+            let mut churn_rng = StdRng::seed_from_u64(77);
+            for _ in 0..6 {
+                let edges = g.edge_vec();
+                let e = edges[churn_rng.gen_range(0..edges.len())];
+                let (u, v) = e.endpoints();
+                g.remove_edge(u, v).unwrap();
+                let event_at = std::time::Instant::now();
+                let (next, stats) =
+                    service.oracle().current().oracle.rebuild_bk_csr(&g.freeze(), e);
+                let rebuilt_in = event_at.elapsed();
+                let epoch = service.oracle().publish(next);
+                service.shared_metrics().record_epoch_swap(
+                    epoch.id,
+                    event_at.elapsed(),
+                    rebuilt_in,
+                    &stats,
+                );
+            }
+        });
+        let mut fuzz_rng = StdRng::seed_from_u64(0xD00F);
+        for round in 0..50usize {
+            let mut batch = Vec::new();
+            while batch.len() < 16 {
+                if let Ok(Request::Query(q) | Request::WeightedQuery(q)) =
+                    parse_request(&hostile_line(&mut fuzz_rng))
+                {
+                    batch.push(q);
+                }
+                batch.push(Query::new(
+                    SOURCES[batch.len() % SOURCES.len()],
+                    fuzz_rng.gen_range(0..N),
+                    Edge::new(0, 1),
+                ));
+            }
+            service.answer_batch(&batch);
+            // Scrape mid-storm: the pinned STATS grammar round-trips, and the exposition
+            // is well-formed even with swaps and journal wraps in flight.
+            let stats_line = format_stats(&service.metrics());
+            parse_stats(&stats_line).unwrap_or_else(|e| panic!("round {round}: {e:?}"));
+            let text = service.render_metrics();
+            assert!(is_well_formed(&text), "round {round}: malformed exposition:\n{text}");
+            assert!(text.contains("msrp_queries_total"), "round {round}");
+            assert!(text.contains("msrp_journal_events_total"), "round {round}");
+        }
+        swapper.join().expect("swapper thread panicked");
+    });
+    // The ring wrapped (drops counted, never blocked) and the plane still renders cleanly.
+    let journal = service.journal_snapshot().expect("journal armed");
+    assert!(journal.total >= 150 && journal.total.is_multiple_of(3), "total = {}", journal.total);
+    assert!(journal.dropped > 0, "a 64-slot ring must wrap under 50 batches");
+    assert!(service.slow_queries_total() > 0, "zero threshold must capture slow queries");
+    // Quiescent: the final epoch serves, the last scrape is well-formed, workers live.
+    let last = service.oracle().current();
+    assert_eq!(last.id, 6);
+    let good = Query::new(SOURCES[1], N - 1, Edge::new(0, 1));
+    for _ in 0..service.worker_count() * 2 {
+        assert_eq!(service.answer_batch(&[good])[0], last.oracle.query(good));
+    }
+    assert!(is_well_formed(&service.render_metrics()));
+    let metrics = service.shutdown();
+    assert_eq!(metrics.epoch, 6);
+    assert_eq!(metrics.rebuild_latency.count, 6);
 }
 
 /// The BK-built service under the same storm: a graph with isolated vertices and a pendant

@@ -1,0 +1,103 @@
+//! Seed-pinned property tests of the histogram snapshot algebra the metrics plane is built
+//! on: quantiles must be monotone in `q`, and snapshot merging must behave exactly like
+//! recording every sample into a single histogram — associative, commutative, with the
+//! empty snapshot as identity — so per-worker or per-shard histograms can be folded in any
+//! order without changing a single reported number.
+
+use std::time::Duration;
+
+use msrp_serve::{HistogramSnapshot, LatencyHistogram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws one latency whose magnitude is exponent-distributed, so samples land across the
+/// whole log-bucket range instead of clustering in two or three buckets.
+fn draw_ns(rng: &mut StdRng) -> u64 {
+    let exponent = rng.gen_range(0..40u32);
+    rng.gen_range(0..(1u64 << exponent).max(2))
+}
+
+fn random_snapshot(rng: &mut StdRng, samples: usize) -> HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for _ in 0..samples {
+        h.record(Duration::from_nanos(draw_ns(rng)));
+    }
+    h.snapshot()
+}
+
+#[test]
+fn quantiles_are_monotone_on_every_seed() {
+    for seed in [1u64, 7, 42, 99, 123] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let snap = random_snapshot(&mut rng, 500);
+        // A dense grid first…
+        let mut prev = Duration::ZERO;
+        for i in 1..=1000 {
+            let q = i as f64 / 1000.0;
+            let v = snap.quantile(q);
+            assert!(v >= prev, "seed {seed}: quantile({q}) = {v:?} < quantile before = {prev:?}");
+            prev = v;
+        }
+        // …then random pairs, ordered after the draw.
+        for _ in 0..200 {
+            let a = rng.gen_range(1..=1000u32);
+            let b = rng.gen_range(1..=1000u32);
+            let (lo, hi) = (a.min(b), a.max(b));
+            assert!(
+                snap.quantile(lo as f64 / 1000.0) <= snap.quantile(hi as f64 / 1000.0),
+                "seed {seed}: quantile({lo}/1000) > quantile({hi}/1000)"
+            );
+        }
+        // The exact max never exceeds the top quantile's bucket upper bound.
+        assert!(snap.max() <= snap.quantile(1.0), "seed {seed}");
+        assert!(snap.p50() <= snap.p99(), "seed {seed}");
+    }
+}
+
+#[test]
+fn snapshot_merge_is_associative_commutative_with_identity() {
+    for seed in [3u64, 17, 2024] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_snapshot(&mut rng, 200);
+        let b = random_snapshot(&mut rng, 150);
+        let c = random_snapshot(&mut rng, 75);
+        assert_eq!(a.merge(&b), b.merge(&a), "seed {seed}: merge must commute");
+        assert_eq!(
+            a.merge(&b).merge(&c),
+            a.merge(&b.merge(&c)),
+            "seed {seed}: merge must associate"
+        );
+        let empty = LatencyHistogram::new().snapshot();
+        assert_eq!(a.merge(&empty), a, "seed {seed}: empty is the identity");
+        assert_eq!(empty.merge(&a), a, "seed {seed}: on either side");
+        // Totals add exactly; the max is the max of maxes; quantiles stay monotone.
+        let m = a.merge(&b).merge(&c);
+        assert_eq!(m.count, a.count + b.count + c.count);
+        assert_eq!(m.sum_ns, a.sum_ns + b.sum_ns + c.sum_ns);
+        assert_eq!(m.max_ns, a.max_ns.max(b.max_ns).max(c.max_ns));
+        assert!(m.p50() <= m.p99());
+    }
+}
+
+#[test]
+fn merging_worker_histograms_equals_recording_into_one() {
+    // The deployment shape: each worker records into its own histogram, a reporter folds
+    // the snapshots. The fold must be indistinguishable from one shared histogram.
+    for seed in [5u64, 55, 555] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let workers: Vec<LatencyHistogram> = (0..4).map(|_| LatencyHistogram::new()).collect();
+        let shared = LatencyHistogram::new();
+        for _ in 0..400 {
+            let ns = draw_ns(&mut rng);
+            let worker = rng.gen_range(0..workers.len());
+            workers[worker].record(Duration::from_nanos(ns));
+            shared.record(Duration::from_nanos(ns));
+        }
+        let folded = workers
+            .iter()
+            .map(|h| h.snapshot())
+            .reduce(|acc, s| acc.merge(&s))
+            .expect("non-empty worker set");
+        assert_eq!(folded, shared.snapshot(), "seed {seed}");
+    }
+}

@@ -1,10 +1,11 @@
 //! The TCP front end of the replacement-path query service: the sharded oracle behind a real
 //! socket, speaking the newline-delimited text protocol of `msrp::serve::protocol`.
 //!
-//! Three modes:
+//! Four modes:
 //!
 //! ```text
 //! cargo run --release --example serve_tcp                      # self-contained smoke run
+//! cargo run --release --example serve_tcp -- --metrics         # smoke run with tracing on
 //! cargo run --release --example serve_tcp -- --serve ADDR      # serve until the process dies
 //! cargo run --release --example serve_tcp -- --client ADDR     # drive an external server
 //! ```
@@ -13,20 +14,26 @@
 //! connects a client over the real socket, issues single and batched queries — hop-metric
 //! `Q`/`B` lines served from Bernstein–Karger-built shards and weighted `QW`/`BW` lines
 //! served from the weighted oracle — cross-checks every answer against single-threaded
-//! in-process oracles, and shuts down cleanly. The `--serve` / `--client` pair runs the
-//! same code split across two processes.
+//! in-process oracles, exercises the `STATS` and `METRICS` metrics plane, and shuts down
+//! cleanly. The `--serve` / `--client` pair runs the same code split across two processes.
+//! `--metrics` is the same smoke run with the full observability plane on — span journal,
+//! slow-query log, seed-stable trace ids — and dumps the per-stage span accounting, the
+//! slow-query replay lines, and the complete text exposition before exiting.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
 
 use msrp::core::MsrpParams;
 use msrp::graph::generators::{connected_gnm, weighted_connected_gnm};
 use msrp::graph::{Graph, WeightedCsrGraph};
+use msrp::obs::is_well_formed;
 use msrp::oracle::{ReplacementPathOracle, WeightedReplacementOracle};
 use msrp::serve::{
-    format_answer, format_query, format_weighted_answer, format_weighted_query, parse_answer,
-    parse_request, parse_weighted_answer, random_queries, validate_query, QueryService, Request,
-    ServiceConfig, WeightedShardedOracle,
+    format_answer, format_metrics_header, format_query, format_stats, format_weighted_answer,
+    format_weighted_query, parse_answer, parse_metrics_header, parse_request, parse_stats,
+    parse_weighted_answer, random_queries, validate_query, BatchStage, ObsConfig, QueryService,
+    Request, ServiceConfig, ShardedOracle, WeightedShardedOracle,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -208,15 +215,16 @@ fn handle_connection(
                 }
             }
             Ok(Request::Stats) => {
-                let m = service.metrics();
-                writeln!(
-                    writer,
-                    "STATS queries={} unroutable={} shards={:?} batch_latency[{}]",
-                    m.queries_total,
-                    m.unroutable_total,
-                    m.shard_queries,
-                    m.batch_latency.summary()
-                )?;
+                writeln!(writer, "{}", format_stats(&service.metrics()))?;
+            }
+            Ok(Request::Metrics) => {
+                // Length-delimited like batches: a `METRICS <k>` header, then exactly k
+                // lines of Prometheus-style exposition (the hop-metric service's plane —
+                // the weighted service's counters live in its own process-internal
+                // snapshot and stay off the demo wire).
+                let text = service.render_metrics();
+                writeln!(writer, "{}", format_metrics_header(text.lines().count()))?;
+                writer.write_all(text.as_bytes())?;
             }
             Ok(Request::Quit) => return Ok(()),
             Err(e) => writeln!(writer, "ERR {e}")?,
@@ -229,21 +237,32 @@ fn handle_connection(
 /// Starts both metric services: the hop metric from Bernstein–Karger-built shards (the real
 /// BK preprocessing, serving bit-for-bit what `build`/`build_exact` shards would), and the
 /// weighted metric from Dijkstra-tree shards.
-fn start_services() -> (QueryService, QueryService<WeightedShardedOracle>) {
+fn start_services(obs: &ObsConfig) -> (QueryService, QueryService<WeightedShardedOracle>) {
     let g = demo_graph().freeze();
-    let service = QueryService::build_and_start_bk_csr(
-        &g,
-        &SOURCES,
-        SHARDS,
-        &ServiceConfig { workers: WORKERS },
+    let config = ServiceConfig { workers: WORKERS };
+    let service = QueryService::start_observed(
+        ShardedOracle::build_bk_csr(&g, &SOURCES, SHARDS),
+        &config,
+        obs,
     );
-    let wservice = QueryService::build_and_start_weighted(
-        &weighted_demo_graph(),
-        &WSOURCES,
-        SHARDS,
-        &ServiceConfig { workers: WORKERS },
+    let wservice = QueryService::start_observed(
+        WeightedShardedOracle::build(&weighted_demo_graph(), &WSOURCES, SHARDS),
+        &config,
+        obs,
     );
     (service, wservice)
+}
+
+/// The observability plane the `--metrics` mode turns on: span journal, slow-query log (a
+/// zero threshold captures every batch — this is a demo, and it proves the replay payloads
+/// flow end to end), and seed-stable trace ids.
+fn metrics_obs_config() -> ObsConfig {
+    ObsConfig {
+        journal_capacity: 4096,
+        slow_query_threshold: Some(Duration::ZERO),
+        slow_log_capacity: 8,
+        trace_seed: GRAPH_SEED,
+    }
 }
 
 /// `--serve`: accept connections forever (or `max_conns` of them), one thread each.
@@ -418,11 +437,37 @@ fn run_client(addr: &str) {
             "batched weighted socket answer for {q:?} must match the in-process oracle"
         );
     }
-    // Metrics over the wire.
+    // Metrics over the wire, part 1: the one-line machine-parseable STATS probe. The reply
+    // must parse under the pinned format and round-trip exactly.
     writeln!(writer, "STATS").expect("send stats");
-    line.clear();
-    reader.read_line(&mut line).expect("stats reply");
-    println!("server reports: {}", line.trim_end());
+    let stats_line = read_raw(&mut reader, &mut line);
+    let stats = parse_stats(&stats_line).expect("STATS reply parses under the pinned format");
+    assert_eq!(stats.to_string(), stats_line, "STATS reply must round-trip");
+    assert!(
+        stats.queries >= queries.len() as u64,
+        "server counted {} queries, client sent at least {}",
+        stats.queries,
+        queries.len()
+    );
+    println!("server reports: {stats_line}");
+    // Part 2: the full Prometheus-style exposition behind the METRICS verb, length-delimited
+    // by its header line.
+    writeln!(writer, "METRICS").expect("send metrics");
+    let header = read_raw(&mut reader, &mut line);
+    let k = parse_metrics_header(&header).expect("METRICS header parses");
+    let mut exposition = String::new();
+    for _ in 0..k {
+        line.clear();
+        assert!(reader.read_line(&mut line).expect("metrics line") > 0, "short METRICS reply");
+        exposition.push_str(&line);
+    }
+    assert!(
+        is_well_formed(&exposition),
+        "exposition over the socket must be well-formed:\n{exposition}"
+    );
+    assert!(exposition.contains("msrp_queries_total"), "core families must be present");
+    assert!(exposition.contains("msrp_batch_latency_seconds_count"));
+    println!("client fetched a {k}-line well-formed METRICS exposition");
     // Last on this connection: a batch header over the server's limit draws an ERR and
     // closes the connection (the client might already have pipelined the batch lines, so
     // continuing would desynchronize replies). EOF doubles as the QUIT.
@@ -445,12 +490,81 @@ fn run_client(addr: &str) {
     );
 }
 
+/// The self-contained smoke run: server thread + client, one real localhost socket. With an
+/// enabled [`ObsConfig`] (the `--metrics` mode) it additionally dumps and checks the whole
+/// observability plane after the client is done.
+fn smoke_run(obs: &ObsConfig) {
+    let (service, wservice) = start_services(obs);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    println!(
+        "demo server on {addr}: σ={} hop-metric sources (BK-built shards) + σ={} \
+         weighted sources, {SHARDS} shards, {WORKERS} workers, tracing {}",
+        SOURCES.len(),
+        WSOURCES.len(),
+        if obs.enabled() { "on" } else { "off" }
+    );
+    std::thread::scope(|scope| {
+        let service = &service;
+        let wservice = &wservice;
+        let server = scope.spawn(move || serve(listener, service, wservice, Some(1)));
+        run_client(&addr);
+        server.join().expect("server thread");
+    });
+    if obs.enabled() {
+        dump_observability(&service, obs);
+    }
+    let metrics = service.shutdown();
+    let wmetrics = wservice.shutdown();
+    println!(
+        "served {} hop-metric + {} weighted queries over TCP; batch latency [{}]",
+        metrics.queries_total,
+        wmetrics.queries_total,
+        metrics.batch_latency.summary()
+    );
+}
+
+/// Prints (and sanity-checks) the span-journal stage accounting, the slow-query replay
+/// lines, and the full text exposition of an observed service.
+fn dump_observability(service: &QueryService, obs: &ObsConfig) {
+    let journal = service.journal_snapshot().expect("tracing is on in this mode");
+    assert!(journal.total > 0, "the client's batches must have journaled spans");
+    assert_eq!(journal.total % 3, 0, "every batch journals exactly three spans");
+    println!("\nspan journal: {} events recorded, {} dropped", journal.total, journal.dropped);
+    for (code, total, count) in journal.totals_by_stage() {
+        let stage = BatchStage::from_code(code).map_or("unknown", BatchStage::name);
+        println!("  {stage:<10} {count:>5} spans  {total:>12.1?} total");
+    }
+    let slow = service.slow_queries();
+    assert!(!slow.is_empty(), "a zero threshold must capture batches");
+    println!(
+        "slow-query log: {} batches over {:?} (showing the latest replayable entries):",
+        service.slow_queries_total(),
+        obs.slow_query_threshold.expect("threshold set in this mode")
+    );
+    for entry in slow.iter().rev().take(3) {
+        let head = entry.payload.first().map(format_query).unwrap_or_default();
+        println!(
+            "  trace={:#018x} latency={:>9.1?} batch of {:>2}: {head} …",
+            entry.trace_id,
+            entry.latency,
+            entry.payload.len()
+        );
+    }
+    let exposition = service.render_metrics();
+    assert!(is_well_formed(&exposition), "server-side exposition must be well-formed");
+    assert!(exposition.contains("msrp_journal_events_total"));
+    assert!(exposition.contains("msrp_span_seconds_total"));
+    assert!(exposition.contains("msrp_slow_queries_total"));
+    println!("\nfull text exposition (what the METRICS verb serves):\n{exposition}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--serve") => {
             let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7411");
-            let (service, wservice) = start_services();
+            let (service, wservice) = start_services(&ObsConfig::default());
             let listener = TcpListener::bind(addr).expect("bind server address");
             println!("serving replacement-path queries on {addr} (Ctrl-C to stop)");
             serve(listener, &service, &wservice, None);
@@ -459,36 +573,11 @@ fn main() {
             let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7411");
             run_client(addr);
         }
+        Some("--metrics") => smoke_run(&metrics_obs_config()),
         Some(other) => {
-            eprintln!("unknown mode `{other}` (expected --serve or --client)");
+            eprintln!("unknown mode `{other}` (expected --serve, --client, or --metrics)");
             std::process::exit(2);
         }
-        None => {
-            // Self-contained smoke run: server thread + client, one real localhost socket.
-            let (service, wservice) = start_services();
-            let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
-            let addr = listener.local_addr().expect("local addr").to_string();
-            println!(
-                "demo server on {addr}: σ={} hop-metric sources (BK-built shards) + σ={} \
-                 weighted sources, {SHARDS} shards, {WORKERS} workers",
-                SOURCES.len(),
-                WSOURCES.len()
-            );
-            std::thread::scope(|scope| {
-                let service = &service;
-                let wservice = &wservice;
-                let server = scope.spawn(move || serve(listener, service, wservice, Some(1)));
-                run_client(&addr);
-                server.join().expect("server thread");
-            });
-            let metrics = service.shutdown();
-            let wmetrics = wservice.shutdown();
-            println!(
-                "served {} hop-metric + {} weighted queries over TCP; batch latency [{}]",
-                metrics.queries_total,
-                wmetrics.queries_total,
-                metrics.batch_latency.summary()
-            );
-        }
+        None => smoke_run(&ObsConfig::default()),
     }
 }

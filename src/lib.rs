@@ -9,6 +9,7 @@
 //! * [`oracle`] — single-fault distance oracles with `O(1)` queries.
 //! * [`bmm`] — Boolean matrix multiplication and the Theorem 2 reduction.
 //! * [`netsim`] — link-failure simulation and Vickrey pricing applications.
+//! * [`obs`] — observability plane: span journal, stage profiler, metrics exposition.
 //! * [`serve`] — the concurrent, sharded replacement-path query service.
 //!
 //! # Quickstart
@@ -27,6 +28,7 @@ pub use msrp_bmm as bmm;
 pub use msrp_core as core;
 pub use msrp_graph as graph;
 pub use msrp_netsim as netsim;
+pub use msrp_obs as obs;
 pub use msrp_oracle as oracle;
 pub use msrp_rpath as rpath;
 pub use msrp_serve as serve;

@@ -1,0 +1,64 @@
+//! Process-level resource telemetry for the `--large` experiment tier.
+//!
+//! The million-vertex runs are memory-bound, so wall time alone does not explain a kernel's
+//! behaviour — the tier's tables also record the process peak RSS (the `VmHWM` line of
+//! `/proc/self/status`, i.e. the high-water mark across *everything* the run has allocated
+//! so far) and the CSR working-set size normalized to bytes per edge, which is the number
+//! the Õ(m√(nσ)) scaling story is told in.
+
+use msrp_graph::CsrGraph;
+
+/// Peak resident set size of the current process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable.
+///
+/// This is a high-water mark: it only ever grows, so per-phase deltas must be taken by
+/// sampling before and after and subtracting — and a phase that stays under an earlier
+/// peak reports a delta of zero.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Bytes the frozen CSR arrays occupy: `4 · (n + 1)` for the offsets plus `4 · 2m` for the
+/// target lists (both endpoints of every undirected edge appear once).
+pub fn csr_bytes(g: &CsrGraph) -> u64 {
+    4 * (g.vertex_count() as u64 + 1) + 8 * g.edge_count() as u64
+}
+
+/// The CSR footprint normalized per edge — the locality figure the `--large` tables report.
+/// Returns `0.0` for an edgeless graph rather than dividing by zero.
+pub fn csr_bytes_per_edge(g: &CsrGraph) -> f64 {
+    if g.edge_count() == 0 {
+        0.0
+    } else {
+        csr_bytes(g) as f64 / g.edge_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrp_graph::generators::cycle_graph;
+
+    #[test]
+    fn peak_rss_is_positive_and_monotone() {
+        let before = peak_rss_bytes().expect("procfs available on the test machines");
+        assert!(before > 0);
+        // Touch a real allocation; the high-water mark may or may not move (the process may
+        // have peaked earlier), but it can never decrease.
+        let buf = vec![1u8; 1 << 20];
+        let after = peak_rss_bytes().unwrap();
+        assert!(after >= before, "VmHWM decreased: {before} -> {after}");
+        assert!(buf[1 << 19] == 1);
+    }
+
+    #[test]
+    fn csr_footprint_matches_the_array_arithmetic() {
+        let csr = cycle_graph(10).freeze();
+        // 10 vertices, 10 edges: offsets 11 * 4 bytes, targets 20 * 4 bytes.
+        assert_eq!(csr_bytes(&csr), 44 + 80);
+        assert!((csr_bytes_per_edge(&csr) - 12.4).abs() < 1e-9);
+    }
+}

@@ -18,6 +18,18 @@ use crate::distance::INFINITE_DISTANCE;
 use crate::edge::Edge;
 use crate::graph::{Graph, Vertex};
 
+/// Sentinel entry of the flat parent arrays ([`BfsScratch::parent_raw`] and the sibling
+/// kernels): the vertex has no BFS-tree parent, either because it is the source or because
+/// it is unreachable. Chosen as `u32::MAX` so it can never collide with a vertex id (the
+/// CSR substrate caps ids strictly below `u32::MAX`).
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// Widens a flat sentinel-encoded parent array into the `Option<Vertex>` form the owned
+/// [`BfsResult`](crate::BfsResult) and [`ShortestPathTree`](crate::ShortestPathTree) store.
+pub(crate) fn decode_parents(raw: &[u32]) -> Vec<Option<Vertex>> {
+    raw.iter().map(|&p| if p == NO_PARENT { None } else { Some(p as Vertex) }).collect()
+}
+
 /// An immutable, cache-friendly CSR snapshot of a [`Graph`].
 ///
 /// ```
@@ -44,11 +56,14 @@ pub struct CsrGraph {
     targets: Vec<u32>,
     /// Number of undirected edges (`targets.len() / 2`, cached).
     edge_count: usize,
+    /// Largest row length, cached at freeze time (the direction-optimizing kernel's flip
+    /// pre-filter bounds a frontier's total degree by `|frontier| · max_degree`).
+    max_degree: u32,
 }
 
 impl Default for CsrGraph {
     fn default() -> Self {
-        CsrGraph { offsets: vec![0], targets: Vec::new(), edge_count: 0 }
+        CsrGraph { offsets: vec![0], targets: Vec::new(), edge_count: 0, max_degree: 0 }
     }
 }
 
@@ -66,7 +81,8 @@ impl CsrGraph {
             targets.extend(row.iter().map(|&w| w as u32));
             offsets.push(targets.len() as u32);
         }
-        CsrGraph { offsets, targets, edge_count }
+        let max_degree = adj.iter().map(Vec::len).max().unwrap_or(0) as u32;
+        CsrGraph { offsets, targets, edge_count, max_degree }
     }
 
     /// Number of vertices.
@@ -79,6 +95,12 @@ impl CsrGraph {
     #[inline]
     pub fn edge_count(&self) -> usize {
         self.edge_count
+    }
+
+    /// The largest degree of any vertex (0 for an empty graph), cached at freeze time.
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree as usize
     }
 
     /// Returns an iterator over all vertices.
@@ -207,7 +229,9 @@ impl CsrGraph {
 #[derive(Clone, Debug, Default)]
 pub struct BfsScratch {
     dist: Vec<crate::distance::Distance>,
-    parent: Vec<Option<Vertex>>,
+    /// Flat sentinel-encoded parents (`NO_PARENT` = none): 4 bytes per entry instead of the
+    /// 16 bytes of `Option<Vertex>`, and the hot loop writes a plain `u32` store.
+    parent: Vec<u32>,
     /// The BFS queue; after a run it holds the reachable vertices in dequeue order.
     order: Vec<Vertex>,
     source: Vertex,
@@ -226,13 +250,13 @@ impl BfsScratch {
             self.dist.clear();
             self.dist.resize(n, INFINITE_DISTANCE);
             self.parent.clear();
-            self.parent.resize(n, None);
+            self.parent.resize(n, NO_PARENT);
             self.order.clear();
             self.order.reserve(n);
         } else {
             for &v in &self.order {
                 self.dist[v] = INFINITE_DISTANCE;
-                self.parent[v] = None;
+                self.parent[v] = NO_PARENT;
             }
             self.order.clear();
         }
@@ -282,7 +306,7 @@ impl BfsScratch {
                         let w = w as usize;
                         if dist[w] == INFINITE_DISTANCE {
                             dist[w] = dv + 1;
-                            parent[w] = Some(v);
+                            parent[w] = v as u32;
                             order.push(w);
                         }
                     }
@@ -301,7 +325,7 @@ impl BfsScratch {
                         }
                         if dist[w] == INFINITE_DISTANCE {
                             dist[w] = dv + 1;
-                            parent[w] = Some(v);
+                            parent[w] = v as u32;
                             order.push(w);
                         }
                     }
@@ -322,10 +346,25 @@ impl BfsScratch {
         &self.dist
     }
 
-    /// BFS-tree parents of the last run (`None` for the source and unreachable vertices).
+    /// The flat sentinel-encoded parent array of the last run: `parent_raw()[v]` is the
+    /// BFS-tree parent of `v` as a `u32`, or [`NO_PARENT`] for the source and unreachable
+    /// vertices. This is the kernel's native representation; consumers that loop over many
+    /// entries (oracle row construction) avoid the `Option` branch per read.
     #[inline]
-    pub fn parent(&self) -> &[Option<Vertex>] {
+    pub fn parent_raw(&self) -> &[u32] {
         &self.parent
+    }
+
+    /// BFS-tree parent of `v` (`None` for the source and unreachable vertices) — the
+    /// `Option` view of one [`parent_raw`](Self::parent_raw) entry.
+    #[inline]
+    pub fn parent_of(&self, v: Vertex) -> Option<Vertex> {
+        let p = self.parent[v];
+        if p == NO_PARENT {
+            None
+        } else {
+            Some(p as Vertex)
+        }
     }
 
     /// Reachable vertices of the last run in dequeue order (source first).
@@ -334,23 +373,25 @@ impl BfsScratch {
         &self.order
     }
 
-    /// Clones the buffers of the last run into an owned [`BfsResult`](crate::BfsResult).
+    /// Clones the buffers of the last run into an owned [`BfsResult`](crate::BfsResult)
+    /// (widening the sentinel-encoded parents back to `Option<Vertex>`).
     pub fn to_result(&self) -> crate::BfsResult {
         crate::BfsResult {
             source: self.source,
             dist: self.dist.clone(),
-            parent: self.parent.clone(),
+            parent: decode_parents(&self.parent),
             order: self.order.clone(),
         }
     }
 
     /// Moves the buffers of the last run into an owned [`BfsResult`](crate::BfsResult)
-    /// without copying (for one-shot searches that do not reuse the scratch).
+    /// (for one-shot searches that do not reuse the scratch; the parent array is widened,
+    /// the other buffers move without copying).
     pub fn into_result(self) -> crate::BfsResult {
         crate::BfsResult {
             source: self.source,
+            parent: decode_parents(&self.parent),
             dist: self.dist,
-            parent: self.parent,
             order: self.order,
         }
     }
@@ -453,7 +494,7 @@ mod tests {
             let fresh = bfs(&g, s);
             assert_eq!(scratch.source(), s);
             assert_eq!(scratch.dist(), &fresh.dist[..]);
-            assert_eq!(scratch.parent(), &fresh.parent[..]);
+            assert_eq!(decode_parents(scratch.parent_raw()), fresh.parent);
             assert_eq!(scratch.order(), &fresh.order[..]);
             assert_eq!(scratch.to_result(), fresh);
         }
@@ -474,7 +515,30 @@ mod tests {
         assert_eq!(scratch.dist()[3], INFINITE_DISTANCE);
         scratch.run(&csr, 0);
         assert_eq!(scratch.dist(), &[0, 1, 2, 3]);
-        assert_eq!(scratch.parent()[3], Some(2));
+        assert_eq!(scratch.parent_of(3), Some(2));
+        assert_eq!(scratch.parent_raw()[3], 2);
+    }
+
+    #[test]
+    fn raw_parents_convert_exactly_to_the_option_view() {
+        // The sentinel-encoded flat array, the per-vertex Option view and the owned
+        // BfsResult parents are three encodings of the same function.
+        let g = sample();
+        let csr = g.freeze();
+        let mut scratch = BfsScratch::new();
+        for s in g.vertices() {
+            scratch.run(&csr, s);
+            let result = scratch.to_result();
+            assert_eq!(scratch.parent_raw().len(), g.vertex_count());
+            for v in g.vertices() {
+                assert_eq!(scratch.parent_of(v), result.parent[v], "s={s} v={v}");
+                match result.parent[v] {
+                    None => assert_eq!(scratch.parent_raw()[v], NO_PARENT),
+                    Some(p) => assert_eq!(scratch.parent_raw()[v] as usize, p),
+                }
+            }
+            assert_eq!(scratch.parent_of(s), None, "the source has no parent");
+        }
     }
 
     #[test]

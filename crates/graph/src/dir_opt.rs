@@ -1,0 +1,481 @@
+//! Direction-optimizing BFS (Beamer–Asanović–Patterson, SC'12), bit-identical to the
+//! top-down kernel.
+//!
+//! A level-synchronous top-down BFS charges one edge scan to every frontier vertex's row.
+//! When the frontier is a large fraction of the graph — the middle levels of any
+//! low-diameter graph — most of those scans land on already-visited vertices. The
+//! direction-optimizing variant runs such levels *bottom-up* instead: scan the still
+//! unvisited vertices and probe each one's row for a parent in the current frontier, which
+//! touches `O(Σ deg(unvisited))` words instead of `O(Σ deg(frontier))`.
+//!
+//! # The switch heuristic
+//!
+//! [`DirOptScratch`] compares the total degree of the frontier (`m_f`) against the total
+//! degree of the still undiscovered vertices (`m_u`) and their count (`n_u`), and switches
+//! per level:
+//!
+//! * top-down → bottom-up when `m_f > α · (m_u + n_u) + S` (α = [`DIR_OPT_ALPHA`]), where
+//!   `S` is `n` until the unvisited snapshot exists and `0` afterwards — the first flip
+//!   pays an O(n) scan to build the snapshot, and pricing it in keeps a small tail region
+//!   (the last corner of a grid sweep) from baiting a full-array scan;
+//! * bottom-up → top-down when the frontier shrinks below `n / β` vertices
+//!   (β = [`DIR_OPT_BETA`]).
+//!
+//! The switch condition deliberately differs from the SC'12 paper's `m_f > m_u / 14`. That
+//! form prices the bottom-up step with its early exit, which makes its expected cost a small
+//! fraction of `m_u`; our bottom-up step *forgoes* the early exit to stay bit-identical
+//! (see below), so a bottom-up level costs the full `Θ(m_u + n_u)` — every undiscovered
+//! vertex pays one check plus its whole row. Flipping on the classic condition therefore
+//! runs bottom-up on levels where it does up to 28× *more* work than top-down (measured:
+//! 0.6–0.9× end-to-end on every workload). The honest condition compares the two exact
+//! costs and flips only when the frontier side is α× heavier, with α a small safety margin
+//! for bottom-up's fixed overheads (snapshot, position stamps, counting sort). The `n_u`
+//! term also keeps a sea of zero-degree unvisited vertices (disconnected workloads) from
+//! baiting the kernel into rescanning them every level. The test is also free: both sides
+//! derive from one running tally (the total degree of completed levels, accumulated from
+//! row lengths the traversal loads anyway), and a `|frontier| · max_degree` upper bound
+//! pre-filters the exact frontier sweep, so the discovery hot path carries no heuristic
+//! bookkeeping at all — on a high-diameter grid, where the heuristic can never help, the
+//! kernel runs at top-down speed instead of paying a ~20% tracking tax. The constants only
+//! steer *which* step runs — every reachable state produces the same answers, so no tuning
+//! can change a result, only a running time.
+//!
+//! # Why the output is bit-identical to [`BfsScratch`](crate::BfsScratch)
+//!
+//! The top-down kernel with sorted rows satisfies two invariants at every level:
+//!
+//! 1. **Parent rule.** `parent(w)` is the frontier vertex adjacent to `w` with the *minimum
+//!    dequeue position* in the current frontier (the first frontier vertex processed that
+//!    sees `w`), not the minimum vertex id — the two differ whenever a lower-id vertex was
+//!    discovered later.
+//! 2. **Order rule.** The next level lists the discovered vertices grouped by their parent's
+//!    frontier position, ascending vertex id within a group (each frontier vertex appends
+//!    its discoveries in row order, and rows are sorted).
+//!
+//! The bottom-up step reproduces both exactly: it scans the unvisited vertices in ascending
+//! id, computes for each the minimum frontier *position* over its current-level neighbours
+//! (a full row scan — the classic first-parent early exit would pick the minimum *id* and
+//! break bit-identity, which is the documented price of determinism), then emits the next
+//! level with a stable counting sort on parent position. Stability plus the ascending scan
+//! makes within-group order ascending id, matching invariant 2. The differential suite
+//! (`tests/bfs_kernel_differential.rs`) pins `dist`/`parent`/`order` across every seeded
+//! workload family, including the avoiding variant used by the brute-force comparator.
+
+use crate::csr::{decode_parents, CsrGraph, NO_PARENT};
+use crate::distance::{Distance, INFINITE_DISTANCE};
+use crate::edge::Edge;
+use crate::graph::Vertex;
+
+/// Top-down → bottom-up threshold: switch when the frontier's total degree exceeds α times
+/// the undiscovered side's scan cost (`m_u + n_u`). Not Beamer et al.'s α = 14 — our
+/// bottom-up step has no early exit (the bit-identity price), so both sides are priced at
+/// their exact edge counts and α is only a safety margin for bottom-up's fixed overheads.
+pub const DIR_OPT_ALPHA: u64 = 2;
+
+/// Bottom-up → top-down threshold: switch back when the frontier holds fewer than `n / β`
+/// vertices (Beamer et al.'s β = 24).
+pub const DIR_OPT_BETA: u64 = 24;
+
+/// Reusable buffers for direction-optimizing BFS; the drop-in sibling of
+/// [`BfsScratch`](crate::BfsScratch) with the same `O(visited)` reset discipline and the
+/// same flat sentinel-encoded parent array.
+///
+/// ```
+/// use msrp_graph::{bfs_csr, DirOptScratch, Graph};
+///
+/// # fn main() -> Result<(), msrp_graph::GraphError> {
+/// let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])?;
+/// let csr = g.freeze();
+/// let mut scratch = DirOptScratch::new();
+/// for s in 0..5 {
+///     scratch.run(&csr, s);
+///     // Bit-identical to the top-down kernel, not merely equal distances.
+///     assert_eq!(scratch.to_result(), bfs_csr(&csr, s));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DirOptScratch {
+    dist: Vec<Distance>,
+    /// Flat sentinel-encoded parents (`NO_PARENT` = none), as in `BfsScratch`.
+    parent: Vec<u32>,
+    /// The queue/visit order; `order[level_start..]` is the current frontier.
+    order: Vec<Vertex>,
+    /// Frontier position stamps. Only current-level stamps are ever read: `pos[x]` is
+    /// consulted only when `dist[x]` equals the current level, and every such vertex was
+    /// just stamped — stale entries from older levels or runs are unreachable.
+    pos: Vec<u32>,
+    /// Compacted list of undiscovered vertices, ascending id; built lazily on the first
+    /// bottom-up level of a run and maintained by compaction afterwards.
+    unvisited: Vec<u32>,
+    /// Counting-sort workspace of the bottom-up step (one bucket per frontier position).
+    counts: Vec<u32>,
+    /// `(parent position, vertex)` discoveries of the current bottom-up level.
+    found: Vec<(u32, u32)>,
+    source: Vertex,
+}
+
+impl DirOptScratch {
+    /// Creates an empty scratch; buffers are sized lazily on the first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets `dist`/`parent` in `O(visited)` via the previous order (full `O(n)` init only
+    /// when the vertex count changes), mirroring `BfsScratch::reset`.
+    fn reset(&mut self, n: usize) {
+        if self.dist.len() != n {
+            self.dist.clear();
+            self.dist.resize(n, INFINITE_DISTANCE);
+            self.parent.clear();
+            self.parent.resize(n, NO_PARENT);
+            self.order.clear();
+            self.order.reserve(n);
+            self.pos.clear();
+            self.pos.resize(n, 0);
+        } else {
+            for &v in &self.order {
+                self.dist[v] = INFINITE_DISTANCE;
+                self.parent[v] = NO_PARENT;
+            }
+            self.order.clear();
+        }
+        self.unvisited.clear();
+    }
+
+    /// Runs direction-optimizing BFS from `source`, producing the same `dist`/`parent`/
+    /// `order` as [`BfsScratch::run`](crate::BfsScratch::run), bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn run(&mut self, g: &CsrGraph, source: Vertex) {
+        self.run_impl::<false>(g, source, usize::MAX, usize::MAX);
+    }
+
+    /// Runs direction-optimizing BFS from `source` in `G \ {avoid}`, bit-identical to
+    /// [`BfsScratch::run_avoiding`](crate::BfsScratch::run_avoiding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn run_avoiding(&mut self, g: &CsrGraph, source: Vertex, avoid: Edge) {
+        let (lo, hi) = avoid.endpoints();
+        self.run_impl::<true>(g, source, lo, hi);
+    }
+
+    fn run_impl<const AVOID: bool>(&mut self, g: &CsrGraph, source: Vertex, lo: usize, hi: usize) {
+        let n = g.vertex_count();
+        assert!(source < n, "BFS source {source} out of range (n = {n})");
+        self.reset(n);
+        self.source = source;
+        let DirOptScratch { dist, parent, order, pos, unvisited, counts, found, .. } = self;
+        // Slice reborrows of the index-only buffers, as in `BfsScratch::run_impl`: the hot
+        // loops' loads and stores carry noalias slice information instead of re-deriving
+        // each access through a `&mut Vec` header that `order.push` might have touched.
+        let dist = &mut dist[..];
+        let parent = &mut parent[..];
+        let pos = &mut pos[..];
+        dist[source] = 0;
+        order.push(source);
+        // The flip test needs the frontier's total degree `m_f` and the undiscovered side's
+        // `m_u`. Both derive from one free quantity: `processed_deg`, the total degree of
+        // all *completed* levels, accumulated from row lengths the traversal loads anyway —
+        // so the hot discovery path carries zero heuristic bookkeeping (a per-discovery
+        // `degree()` lookup measured ~20% on cache-resident grids). With
+        // `rest = 2m − processed_deg = m_f + m_u`, the flip condition
+        // `m_f > α·(m_u + n_u) + S` becomes `(1 + α)·m_f > α·(rest + n_u) + S`, and
+        // `|frontier| · max_degree ≥ m_f` gives a free pre-filter: only when the bound
+        // passes does an O(|frontier|) sweep compute the exact `m_f` (u64: 2m times α + 1
+        // must not overflow on large graphs).
+        let max_deg = g.max_degree() as u64;
+        let total_deg = 2 * g.edge_count() as u64;
+        let mut processed_deg = 0u64;
+        let mut unvisited_built = false;
+        let mut bottom_up = false;
+        let mut level_start = 0usize;
+        while level_start < order.len() {
+            let level_end = order.len();
+            if level_end == n {
+                // Every vertex is discovered: the remaining frontier can find nothing, and
+                // dist/parent/order are already final. Stopping here skips the last
+                // frontier's scan — and keeps a rest-plus-tail of zero from flipping a
+                // pure top-down run bottom-up at the very end just to build an empty
+                // snapshot with an O(n) pass.
+                break;
+            }
+            // Undiscovered vertices (everything not yet in `order`): a bottom-up level
+            // pays one check for each of them even when their rows are empty. The *first*
+            // bottom-up level additionally pays an O(n) scan to snapshot that set, so the
+            // flip prices the snapshot in until it exists — otherwise a small tail region
+            // (the last corner of a grid sweep) baits a pure top-down run into a full-array
+            // scan it barely uses.
+            let frontier_len = (level_end - level_start) as u64;
+            let n_unvisited = (n - level_end) as u64;
+            let rest = total_deg - processed_deg;
+            let snapshot_charge = if unvisited_built { 0 } else { n as u64 };
+            let threshold = DIR_OPT_ALPHA * (rest + n_unvisited) + snapshot_charge;
+            if bottom_up {
+                if frontier_len * DIR_OPT_BETA < n as u64 {
+                    bottom_up = false;
+                }
+            } else if (DIR_OPT_ALPHA + 1) * rest.min(frontier_len * max_deg) > threshold {
+                let m_frontier: u64 =
+                    order[level_start..level_end].iter().map(|&v| g.degree(v) as u64).sum();
+                if (DIR_OPT_ALPHA + 1) * m_frontier > threshold {
+                    bottom_up = true;
+                }
+            }
+            if bottom_up {
+                if !unvisited_built {
+                    // First bottom-up level of this run: snapshot the undiscovered set in
+                    // ascending id order. Later levels (even after intervening top-down
+                    // ones) only compact it, so the O(n) scan happens at most once per run.
+                    unvisited
+                        .extend((0..n as u32).filter(|&v| dist[v as usize] == INFINITE_DISTANCE));
+                    unvisited_built = true;
+                }
+                // Stamp the frontier positions the parent rule minimizes over, and retire
+                // the frontier's degrees (a bottom-up level never scans its own rows, so
+                // this loop is where their contribution to `processed_deg` is counted).
+                for (i, &v) in order[level_start..level_end].iter().enumerate() {
+                    pos[v] = i as u32;
+                    processed_deg += g.degree(v) as u64;
+                }
+                let dv = dist[order[level_start]];
+                found.clear();
+                let mut keep = 0usize;
+                for idx in 0..unvisited.len() {
+                    let w = unvisited[idx];
+                    let wu = w as usize;
+                    if dist[wu] != INFINITE_DISTANCE {
+                        continue; // discovered by a top-down level since the snapshot
+                    }
+                    // Minimum frontier position over current-level neighbours — the full
+                    // row scan (no early exit) is what keeps the parent choice identical
+                    // to the top-down kernel's first-discoverer rule.
+                    let mut best = u32::MAX;
+                    for &x in g.neighbor_row(wu) {
+                        let xu = x as usize;
+                        if AVOID && ((wu == lo && xu == hi) || (wu == hi && xu == lo)) {
+                            continue;
+                        }
+                        if dist[xu] == dv && pos[xu] < best {
+                            best = pos[xu];
+                        }
+                    }
+                    if best != u32::MAX {
+                        dist[wu] = dv + 1;
+                        parent[wu] = order[level_start + best as usize] as u32;
+                        found.push((best, w));
+                    } else {
+                        unvisited[keep] = w;
+                        keep += 1;
+                    }
+                }
+                unvisited.truncate(keep);
+                // Stable counting sort by parent position: reproduces the top-down append
+                // order (per-parent groups in frontier order; the ascending unvisited scan
+                // already yields ascending id within each group).
+                let buckets = level_end - level_start;
+                counts.clear();
+                counts.resize(buckets + 1, 0);
+                for &(p, _) in found.iter() {
+                    counts[p as usize + 1] += 1;
+                }
+                for i in 1..=buckets {
+                    counts[i] += counts[i - 1];
+                }
+                order.resize(level_end + found.len(), 0);
+                for &(p, w) in found.iter() {
+                    let slot = counts[p as usize] as usize;
+                    counts[p as usize] += 1;
+                    order[level_end + slot] = w as usize;
+                }
+            } else {
+                // Top-down level: the BfsScratch kernel over the frontier window, plus one
+                // free row-length accumulation per processed vertex.
+                for i in level_start..level_end {
+                    let v = order[i];
+                    let dvv = dist[v];
+                    let row = g.neighbor_row(v);
+                    processed_deg += row.len() as u64;
+                    for &w in row {
+                        let wu = w as usize;
+                        if AVOID && ((v == lo && wu == hi) || (v == hi && wu == lo)) {
+                            continue;
+                        }
+                        if dist[wu] == INFINITE_DISTANCE {
+                            dist[wu] = dvv + 1;
+                            parent[wu] = v as u32;
+                            order.push(wu);
+                        }
+                    }
+                }
+            }
+            level_start = level_end;
+        }
+    }
+
+    /// The source of the last run.
+    #[inline]
+    pub fn source(&self) -> Vertex {
+        self.source
+    }
+
+    /// Distances of the last run (`INFINITE_DISTANCE` for unreachable vertices).
+    #[inline]
+    pub fn dist(&self) -> &[Distance] {
+        &self.dist
+    }
+
+    /// The flat sentinel-encoded parent array of the last run ([`NO_PARENT`] = none), the
+    /// same encoding as [`BfsScratch::parent_raw`](crate::BfsScratch::parent_raw).
+    #[inline]
+    pub fn parent_raw(&self) -> &[u32] {
+        &self.parent
+    }
+
+    /// BFS-tree parent of `v` (`None` for the source and unreachable vertices).
+    #[inline]
+    pub fn parent_of(&self, v: Vertex) -> Option<Vertex> {
+        let p = self.parent[v];
+        if p == NO_PARENT {
+            None
+        } else {
+            Some(p as Vertex)
+        }
+    }
+
+    /// Reachable vertices of the last run in dequeue order (source first).
+    #[inline]
+    pub fn order(&self) -> &[Vertex] {
+        &self.order
+    }
+
+    /// Clones the buffers of the last run into an owned [`BfsResult`](crate::BfsResult).
+    pub fn to_result(&self) -> crate::BfsResult {
+        crate::BfsResult {
+            source: self.source,
+            dist: self.dist.clone(),
+            parent: decode_parents(&self.parent),
+            order: self.order.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::BfsScratch;
+    use crate::graph::Graph;
+
+    fn assert_matches_top_down(g: &Graph, sources: &[Vertex]) {
+        let csr = g.freeze();
+        let mut td = BfsScratch::new();
+        let mut dopt = DirOptScratch::new();
+        for &s in sources {
+            td.run(&csr, s);
+            dopt.run(&csr, s);
+            assert_eq!(dopt.dist(), td.dist(), "dist s={s}");
+            assert_eq!(dopt.parent_raw(), td.parent_raw(), "parent s={s}");
+            assert_eq!(dopt.order(), td.order(), "order s={s}");
+            for e in g.edges().take(32) {
+                td.run_avoiding(&csr, s, e);
+                dopt.run_avoiding(&csr, s, e);
+                assert_eq!(dopt.to_result(), td.to_result(), "avoiding s={s} e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn star_stays_correct_and_never_overpays_bottom_up() {
+        // From the center the whole graph is level 1, so the heuristic flips only on the
+        // final empty-tail level. From a leaf, bottom-up at the center level would scan
+        // exactly as many edges as top-down (39 leaf rows vs the center's row) — the
+        // cost-honest α correctly refuses to flip. Either way the answers must match.
+        let g = crate::generators::star_graph(40);
+        assert_matches_top_down(&g, &[0, 1, 39]);
+    }
+
+    #[test]
+    fn heuristic_flips_bottom_up_and_back_on_a_dense_core_with_a_tail() {
+        // K₁₆ (vertices 0–15) with a 20-vertex path hanging off vertex 15. From a core
+        // source, level 1 is the other fifteen clique vertices: m_f = 226 beats
+        // α·(m_u + n_u) + n = 2·59 + 36, so the level runs bottom-up with *real*
+        // unvisited work (vertex 16's row scan picks its parent). The next frontier
+        // is the single path vertex 16, and 1 · β = 24 < n = 36, so the kernel switches
+        // back and walks the tail top-down: one run exercises top-down → bottom-up →
+        // top-down, including the β condition that needs n > β to ever fire.
+        let mut edges: Vec<(Vertex, Vertex)> =
+            (0..16).flat_map(|u| (u + 1..16).map(move |v| (u, v))).collect();
+        edges.extend((15..35).map(|u| (u, u + 1)));
+        let g = Graph::from_edges(36, &edges).unwrap();
+        assert_matches_top_down(&g, &[0, 15, 16, 35]);
+    }
+
+    #[test]
+    fn parent_is_min_frontier_position_not_min_id() {
+        // From source 0: level 1 is [1, 2]; vertex 1 (position 0) discovers 4, 6, 7 before
+        // vertex 2 (position 1) discovers 3, so level 2 is [4, 6, 7, 3] and the *lowest-id*
+        // level-2 vertex holds the *highest* frontier position. Vertex 5 neighbours 3 and
+        // 4: the top-down kernel discovers it from 4 (minimum position). A bottom-up step
+        // picking the minimum-id parent, or early-exiting on the first row hit (5's sorted
+        // row starts with 3), would both answer 3 and diverge. The clique of edges among
+        // {3, 4, 6, 7} fattens the level-2 frontier (m_f = 19 vs α·(m_u + n_u) + n =
+        // 2·3 + 8) so the cost-honest heuristic really runs that level bottom-up and the
+        // divergence would actually fire.
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 4),
+                (2, 3),
+                (2, 4),
+                (1, 6),
+                (1, 7),
+                (4, 5),
+                (3, 5),
+                (3, 4),
+                (4, 6),
+                (4, 7),
+                (6, 7),
+                (3, 6),
+                (3, 7),
+            ],
+        )
+        .unwrap();
+        assert_matches_top_down(&g, &[0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn disconnected_and_single_vertex_graphs() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (4, 5)]).unwrap();
+        assert_matches_top_down(&g, &[0, 2, 3, 4, 6]);
+        let lone = Graph::new(1);
+        assert_matches_top_down(&lone, &[0]);
+    }
+
+    #[test]
+    fn scratch_reuse_across_sizes_and_avoiding_runs_is_clean() {
+        let big = crate::generators::grid_graph(6, 6);
+        let small = crate::generators::cycle_graph(5);
+        let mut dopt = DirOptScratch::new();
+        let mut td = BfsScratch::new();
+        for (g, s) in [(&big, 0usize), (&small, 3), (&big, 35), (&small, 0)] {
+            let csr = g.freeze();
+            dopt.run(&csr, s);
+            td.run(&csr, s);
+            assert_eq!(dopt.to_result(), td.to_result());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_source_panics() {
+        let csr = Graph::new(2).freeze();
+        DirOptScratch::new().run(&csr, 5);
+    }
+}

@@ -34,12 +34,14 @@ mod connectivity;
 mod csr;
 mod cuckoo;
 mod dijkstra;
+mod dir_opt;
 mod distance;
 mod edge;
 mod error;
 mod graph;
 mod lca;
 mod metrics;
+mod multi_bfs;
 mod path_cover;
 mod tree;
 mod weighted;
@@ -48,15 +50,17 @@ pub mod generators;
 
 pub use bfs::{bfs, bfs_avoiding_edge, bfs_distances, BfsResult};
 pub use connectivity::{analyze_connectivity, analyze_connectivity_csr, ConnectivityReport};
-pub use csr::{bfs_csr, bfs_csr_avoiding_edge, BfsScratch, CsrGraph};
+pub use csr::{bfs_csr, bfs_csr_avoiding_edge, BfsScratch, CsrGraph, NO_PARENT};
 pub use cuckoo::CuckooHashMap;
 pub use dijkstra::{DijkstraResult, Weight, WeightedCsr, WeightedDigraph, INFINITE_WEIGHT};
+pub use dir_opt::{DirOptScratch, DIR_OPT_ALPHA, DIR_OPT_BETA};
 pub use distance::{dist_add, dist_add3, dist_min, is_finite, Distance, INFINITE_DISTANCE};
 pub use edge::Edge;
 pub use error::GraphError;
 pub use graph::{Graph, Vertex};
 pub use lca::LcaIndex;
 pub use metrics::{diameter_lower_bound, graph_metrics, GraphMetrics};
+pub use multi_bfs::{bfs_trees_wave, MultiBfsScratch, WAVE_LANES};
 pub use path_cover::TreePathCover;
 pub use tree::ShortestPathTree;
 pub use weighted::{DijkstraScratch, WeightedCsrGraph, WeightedGraph, WeightedTree};

@@ -68,6 +68,24 @@ impl ShortestPathTree {
         Self::from_bfs(scratch.to_result())
     }
 
+    /// Builds the BFS tree rooted at `source` with the direction-optimizing kernel —
+    /// bit-for-bit the same tree as [`build_with_scratch`](Self::build_with_scratch)
+    /// (the kernel reproduces the top-down parent and order rules exactly), usually faster
+    /// on large low-diameter graphs. The incremental oracle rebuild runs its from-scratch
+    /// rung through this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range for `g`.
+    pub fn build_with_dir_opt(
+        g: &CsrGraph,
+        source: Vertex,
+        scratch: &mut crate::DirOptScratch,
+    ) -> Self {
+        scratch.run(g, source);
+        Self::from_bfs(scratch.to_result())
+    }
+
     /// Builds the tree from an existing BFS result.
     pub fn from_bfs(bfs: BfsResult) -> Self {
         let BfsResult { source, dist, parent, order } = bfs;

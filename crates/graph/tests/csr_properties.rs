@@ -123,6 +123,26 @@ fn trees_built_over_csr_match_trees_built_over_graph() {
 }
 
 #[test]
+fn has_edge_agrees_with_a_naive_neighbor_scan_on_every_pair() {
+    // `has_edge` binary-searches the smaller of the two sorted CSR rows; the ground truth
+    // is a linear scan of the row. Sweep every (u, v) pair — present, absent, and
+    // out-of-range — so both the hit and the miss paths of the search are pinned.
+    for (name, g) in seeded_instances() {
+        let csr = g.freeze();
+        let n = csr.vertex_count();
+        for u in 0..n {
+            for v in 0..n {
+                let naive = u != v && csr.neighbor_row(u).contains(&(v as u32));
+                assert_eq!(csr.has_edge(u, v), naive, "{name}: has_edge({u}, {v})");
+                assert_eq!(csr.has_edge(v, u), naive, "{name}: has_edge({v}, {u})");
+            }
+            assert!(!csr.has_edge(u, n), "{name}: out-of-range second endpoint");
+            assert!(!csr.has_edge(n + 5, u), "{name}: out-of-range first endpoint");
+        }
+    }
+}
+
+#[test]
 fn connectivity_reports_agree_across_representations() {
     for (name, g) in seeded_instances() {
         assert_eq!(analyze_connectivity_csr(&g.freeze()), analyze_connectivity(&g), "{name}");

@@ -41,8 +41,8 @@
 //! measured gap.
 
 use msrp_graph::{
-    BfsScratch, CsrGraph, Distance, Graph, ShortestPathTree, TreePathCover, Vertex,
-    INFINITE_DISTANCE,
+    bfs_trees_wave, CsrGraph, Distance, Graph, MultiBfsScratch, ShortestPathTree, TreePathCover,
+    Vertex, INFINITE_DISTANCE,
 };
 use msrp_obs::{timed, NoProfiler, Profiler, StageProfile};
 use msrp_rpath::SourceReplacementDistances;
@@ -60,7 +60,7 @@ pub const BK_STAGES: [&str; 5] = ["tree", "cover", "rows", "cuts", "merge"];
 ///
 /// One scratch serves every cut of every cover path of every source, so the whole
 /// [`build_bk`](ReplacementPathOracle::build_bk) construction performs no per-cut allocation
-/// (mirroring what [`BfsScratch`] does for `build_exact`).
+/// (mirroring what [`MultiBfsScratch`] does for `build_exact`).
 #[derive(Clone, Debug, Default)]
 pub struct BkScratch {
     /// Tentative distances of the current cut (`INFINITE_DISTANCE` when untouched).
@@ -277,9 +277,10 @@ impl ReplacementPathOracle {
         Self::build_bk_csr(&g.freeze(), sources)
     }
 
-    /// CSR entry point of [`build_bk`](Self::build_bk): every tree is built through one
-    /// shared [`BfsScratch`] and every cut through one shared [`BkScratch`], so the whole
-    /// construction performs no per-cut allocation.
+    /// CSR entry point of [`build_bk`](Self::build_bk): the source trees are built in
+    /// 64-way bit-parallel waves through one shared [`MultiBfsScratch`] and every cut runs
+    /// through one shared [`BkScratch`], so the whole construction performs no per-cut
+    /// allocation.
     ///
     /// # Panics
     ///
@@ -305,14 +306,11 @@ impl ReplacementPathOracle {
     }
 
     fn build_bk_csr_impl<P: Profiler>(g: &CsrGraph, sources: &[Vertex], profiler: &mut P) -> Self {
-        let mut bfs = BfsScratch::new();
+        let mut wave = MultiBfsScratch::new();
         let mut scratch = BkScratch::new();
-        let trees: Vec<_> = sources
-            .iter()
-            .map(|&s| {
-                timed(profiler, "tree", || ShortestPathTree::build_with_scratch(g, s, &mut bfs))
-            })
-            .collect();
+        // All source trees come from 64-way bit-parallel waves (bit-identical to the
+        // per-source `BfsScratch` route); the "tree" stage is charged once per wave batch.
+        let trees = timed(profiler, "tree", || bfs_trees_wave(g, sources, &mut wave));
         let distances = trees
             .iter()
             .map(|t| {
@@ -473,8 +471,9 @@ mod tests {
         let mut profile = StageProfile::new();
         let profiled = ReplacementPathOracle::build_bk_csr_profiled(&csr, &sources, &mut profile);
         assert_eq!(plain.per_source(), profiled.per_source());
-        // Every per-source stage fired once per source; cuts once per tree edge.
-        assert_eq!(profile.get("tree").unwrap().count, sources.len() as u64);
+        // Trees are batched into 64-way waves (one timed call covers all four sources
+        // here); the remaining per-source stages fire once per source, cuts once per edge.
+        assert_eq!(profile.get("tree").unwrap().count, 1);
         assert_eq!(profile.get("cover").unwrap().count, sources.len() as u64);
         assert_eq!(profile.get("rows").unwrap().count, sources.len() as u64);
         assert!(profile.get("cuts").unwrap().count > 0);

@@ -32,11 +32,12 @@ pub use incremental::RebuildStats;
 
 use msrp_core::{solve_msrp_csr, solve_msrp_weighted, MsrpOutput, MsrpParams, WeightedMsrpOutput};
 use msrp_graph::{
-    BfsScratch, CsrGraph, CuckooHashMap, DijkstraScratch, Distance, Edge, Graph, ShortestPathTree,
-    Vertex, Weight, WeightedCsrGraph, WeightedTree, INFINITE_DISTANCE, INFINITE_WEIGHT,
+    bfs_trees_wave, CsrGraph, CuckooHashMap, DijkstraScratch, Distance, Edge, Graph,
+    MultiBfsScratch, ShortestPathTree, Vertex, Weight, WeightedCsrGraph, WeightedTree,
+    INFINITE_DISTANCE, INFINITE_WEIGHT,
 };
 use msrp_rpath::{
-    single_source_brute_force_weighted, single_source_brute_force_with_scratch,
+    single_source_brute_force_wave, single_source_brute_force_weighted,
     SourceReplacementDistances, WeightedReplacementDistances,
 };
 
@@ -168,19 +169,17 @@ impl ReplacementPathOracle {
         Self::build_exact_csr(&g.freeze(), sources)
     }
 
-    /// CSR entry point of [`build_exact`](Self::build_exact): the whole edge-removal loop —
-    /// one BFS per tree edge per source — runs through a single shared [`BfsScratch`], so it
-    /// performs no per-BFS allocation.
+    /// CSR entry point of [`build_exact`](Self::build_exact): both stages are bit-parallel.
+    /// The source trees come from one [`bfs_trees_wave`] call (up to 64 sources per wave),
+    /// and each source's edge-removal loop batches its tree edges into avoiding waves of up
+    /// to 64 searches through one shared [`MultiBfsScratch`] — bit-identical to the
+    /// sequential per-edge route (pinned by the wave differential tests), just far fewer
+    /// passes over the CSR arrays.
     pub fn build_exact_csr(g: &CsrGraph, sources: &[Vertex]) -> Self {
-        let mut scratch = BfsScratch::new();
-        let trees: Vec<_> = sources
-            .iter()
-            .map(|&s| ShortestPathTree::build_with_scratch(g, s, &mut scratch))
-            .collect();
-        let distances = trees
-            .iter()
-            .map(|t| single_source_brute_force_with_scratch(g, t, &mut scratch))
-            .collect();
+        let mut wave = MultiBfsScratch::new();
+        let trees = bfs_trees_wave(g, sources, &mut wave);
+        let distances =
+            trees.iter().map(|t| single_source_brute_force_wave(g, t, &mut wave)).collect();
         ReplacementPathOracle { sources: sources.to_vec(), trees, distances }
     }
 

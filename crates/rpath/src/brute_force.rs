@@ -5,7 +5,8 @@
 //! (2) they are the "recompute from scratch" baseline the benchmarks compare against.
 
 use msrp_graph::{
-    bfs_avoiding_edge, BfsScratch, CsrGraph, Distance, Edge, Graph, ShortestPathTree, Vertex,
+    bfs_avoiding_edge, BfsScratch, CsrGraph, Distance, Edge, Graph, MultiBfsScratch,
+    ShortestPathTree, Vertex, WAVE_LANES,
 };
 
 use crate::distances::SourceReplacementDistances;
@@ -88,11 +89,53 @@ pub fn single_source_brute_force_with_scratch(
     out
 }
 
+/// Bit-parallel variant of [`single_source_brute_force_with_scratch`]: the tree edges are
+/// batched into waves of up to [`WAVE_LANES`] and each wave runs all of its edge-avoiding
+/// searches simultaneously through one [`MultiBfsScratch`].
+///
+/// The brute-force tables consume only distances, and the avoiding wave's distance planes are
+/// bit-identical to the sequential kernel's `dist` array (pinned by the kernel differential
+/// suite), so this produces *exactly* the same [`SourceReplacementDistances`] — it is the
+/// memory-bandwidth-friendly route `msrp-oracle::build_exact` takes per source.
+///
+/// # Panics
+///
+/// Panics if `tree` is not rooted at a vertex of `g`.
+pub fn single_source_brute_force_wave(
+    g: &CsrGraph,
+    tree: &ShortestPathTree,
+    wave: &mut MultiBfsScratch,
+) -> SourceReplacementDistances {
+    let n = g.vertex_count();
+    let s = tree.source();
+    assert!(s < n, "tree root out of range for the graph");
+    let mut out = SourceReplacementDistances::new(tree);
+    // Same edge enumeration as the sequential loop: child vertices in ascending order.
+    let children: Vec<Vertex> = (0..n).filter(|&c| tree.parent(c).is_some()).collect();
+    let mut edges = Vec::with_capacity(WAVE_LANES);
+    for batch in children.chunks(WAVE_LANES) {
+        edges.clear();
+        edges.extend(batch.iter().map(|&c| Edge::new(tree.parent(c).unwrap(), c)));
+        wave.run_avoiding_wave(g, s, &edges);
+        for (lane, &c) in batch.iter().enumerate() {
+            let pos = tree.distance_or_infinite(c) as usize - 1;
+            for t in 0..n {
+                if tree.is_reachable(t) && tree.is_ancestor(c, t) {
+                    out.set(t, pos, wave.lane_dist(lane, t));
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use msrp_graph::generators::{cycle_graph, grid_graph, path_graph};
+    use msrp_graph::generators::{connected_gnm, cycle_graph, grid_graph, path_graph};
     use msrp_graph::INFINITE_DISTANCE;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn cycle_replacements_go_the_long_way() {
@@ -158,5 +201,34 @@ mod tests {
         assert!(out.row(3).is_empty());
         assert!(out.row(4).is_empty());
         assert_eq!(out.get(2, 0), Some(INFINITE_DISTANCE));
+    }
+
+    #[test]
+    fn wave_route_is_bit_identical_to_the_sequential_route() {
+        // n = 130 reachable children > 2 * WAVE_LANES, so chunking runs at least three waves
+        // and the last one is partial.
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = connected_gnm(130, 4 * 130, &mut rng).unwrap();
+        let csr = g.freeze();
+        let mut scratch = BfsScratch::new();
+        let mut wave = MultiBfsScratch::new();
+        for s in [0usize, 64, 129] {
+            let tree = ShortestPathTree::build_with_scratch(&csr, s, &mut scratch);
+            let sequential = single_source_brute_force_with_scratch(&csr, &tree, &mut scratch);
+            let waved = single_source_brute_force_wave(&csr, &tree, &mut wave);
+            assert_eq!(waved, sequential, "source {s}");
+        }
+    }
+
+    #[test]
+    fn wave_route_handles_bridges_and_disconnection() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (4, 5)]).unwrap();
+        let csr = g.freeze();
+        let tree = ShortestPathTree::build(&g, 0);
+        let mut wave = MultiBfsScratch::new();
+        let waved = single_source_brute_force_wave(&csr, &tree, &mut wave);
+        assert_eq!(waved, single_source_brute_force(&g, &tree));
+        assert_eq!(waved.get(3, 1), Some(INFINITE_DISTANCE));
+        assert!(waved.row(5).is_empty());
     }
 }

@@ -39,7 +39,7 @@ mod weighted;
 
 pub use brute_force::{
     replacement_distance, single_source_brute_force, single_source_brute_force_csr,
-    single_source_brute_force_with_scratch,
+    single_source_brute_force_wave, single_source_brute_force_with_scratch,
 };
 pub use compare::{compare, ComparisonReport, Mismatch};
 pub use distances::SourceReplacementDistances;

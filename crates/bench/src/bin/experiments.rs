@@ -1,16 +1,19 @@
-//! Experiment harness: regenerates the derived tables E1–E13 described in `EXPERIMENTS.md`.
+//! Experiment harness: regenerates the derived tables E1–E14 described in `EXPERIMENTS.md`.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run -p msrp-bench --release --bin experiments -- [e1|...|e13|all] [--quick] [--large] [--list]
+//! cargo run -p msrp-bench --release --bin experiments -- [e1|...|e14|all] [--quick] [--large] [--list]
 //! ```
 //!
 //! `--quick` shrinks the instance sizes so that every experiment finishes in a few seconds
 //! (used by the CI-style smoke run); without it the sizes match the numbers reported in
 //! `EXPERIMENTS.md`. `--large` switches E13 to the opt-in million-vertex tier (n up to
 //! 2²⁰; never run in CI — see the `BENCH_large.json` provenance note). `--list` prints
-//! every experiment id with a one-line description and exits.
+//! every experiment id with a one-line description and exits. E14 (model-checker
+//! exploration stats) additionally needs `--features model-stats`, which swaps the
+//! workspace atomics onto the `msrp-check` shim facade — without the feature it prints
+//! the rerun instructions and exits successfully, so `all` stays feature-agnostic.
 
 use std::env;
 use std::time::{Duration, Instant};
@@ -41,7 +44,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Every experiment id with its one-line description (printed by `--list`).
-const EXPERIMENTS: [(&str, &str); 13] = [
+const EXPERIMENTS: [(&str, &str); 14] = [
     ("e1", "single-source scaling (Theorem 14) vs the two O~(mn) baselines"),
     ("e2", "multi-source scaling in sigma (Theorem 1/26) on a fixed graph"),
     ("e3", "exactness rate of the randomized algorithm, paper vs scaled constants"),
@@ -55,6 +58,7 @@ const EXPERIMENTS: [(&str, &str); 13] = [
     ("e11", "live churn: epoch-swap serving, incremental vs full rebuild, zero mismatches"),
     ("e12", "build/rebuild stage profile: where BK preprocessing and ladder time goes"),
     ("e13", "traversal kernels at scale: dir-opt + 64-way wave BFS, --large memory tier"),
+    ("e14", "model-checker exploration: schedules/steps per lock-free structure + lint wall"),
 ];
 
 fn main() {
@@ -120,6 +124,9 @@ fn main() {
     }
     if run("e13") {
         experiment_e13(quick, large);
+    }
+    if run("e14") {
+        experiment_e14(quick);
     }
 }
 
@@ -794,8 +801,15 @@ fn experiment_e13(quick: bool, large: bool) {
     } else {
         (&[16_384, 32_768], 16)
     };
-    let mut oracle_table =
-        Table::new(["kind", "n", "m", "sigma", "build_bk (s)", "t/(m·sqrt(n·σ)) (ns)", "peak RSS (MB)"]);
+    let mut oracle_table = Table::new([
+        "kind",
+        "n",
+        "m",
+        "sigma",
+        "build_bk (s)",
+        "t/(m·sqrt(n·σ)) (ns)",
+        "peak RSS (MB)",
+    ]);
     for &n in oracle_sizes {
         let csr = standard_graph(WorkloadKind::SparseRandom, n, 29).freeze();
         let m = csr.edge_count();
@@ -816,4 +830,126 @@ fn experiment_e13(quick: bool, large: bool) {
     }
     println!("\nwave-powered BK preprocessing (Õ(m·sqrt(nσ)) scaling check):");
     oracle_table.print();
+}
+
+/// E14 — model-checker exploration stats: how many interleavings the bounded DFS walks
+/// for each lock-free structure's invariant scenario (the `crates/check/tests/model_*`
+/// scenarios, compacted), plus the lint wall's rule/allowlist counts. Only meaningful
+/// with `--features model-stats` (the shim-instrumented build); without it the function
+/// prints the rerun instructions and returns, so `all` works on any build.
+#[cfg(not(feature = "model-stats"))]
+fn experiment_e14(_quick: bool) {
+    println!("\n=== E14: model-checker exploration (skipped) ===");
+    println!(
+        "rerun with: cargo run -p msrp-bench --release --features model-stats \
+         --bin experiments -- e14 [--quick]"
+    );
+}
+
+#[cfg(feature = "model-stats")]
+fn experiment_e14(quick: bool) {
+    use msrp_check::model::{explore, ModelConfig, Scenario};
+    use msrp_obs::SpanJournal;
+    use msrp_serve::{EpochOracle, LatencyHistogram, RouteOracle};
+    use std::sync::Arc;
+
+    println!("\n=== E14: model-checker exploration ===");
+    let budget = if quick { 600 } else { ModelConfig::DEFAULT_BUDGET };
+    let cfg = ModelConfig::with_budget(budget);
+    let mut table =
+        Table::new(["structure", "scenario", "schedules", "max depth", "total steps", "exhausted"]);
+    let mut record = |structure: &str, scenario: &str, report: msrp_check::model::Report| {
+        assert!(report.failure.is_none(), "{structure}: {:?}", report.failure);
+        table.add_row([
+            structure.to_string(),
+            scenario.to_string(),
+            report.schedules.to_string(),
+            report.max_depth.to_string(),
+            report.total_steps.to_string(),
+            report.exhausted.to_string(),
+        ]);
+    };
+
+    // SpanJournal: overwriting writer vs snapshotter on a one-slot ring (the torn-read
+    // window the Release payload stores close).
+    record(
+        "SpanJournal",
+        "overwrite vs snapshot",
+        explore(&cfg, || {
+            let j = Arc::new(SpanJournal::new(1));
+            j.record(7, 1, 2, std::time::Duration::from_nanos(3));
+            let (jw, jr) = (Arc::clone(&j), Arc::clone(&j));
+            Scenario::new(vec![
+                Box::new(move || jw.record(8, 2, 3, std::time::Duration::from_nanos(4))),
+                Box::new(move || {
+                    for e in jr.snapshot().events {
+                        assert!(e.trace_id == 7 || e.trace_id == 8, "torn event: {e:?}");
+                    }
+                }),
+            ])
+        }),
+    );
+
+    // LatencyHistogram: one record racing one snapshot + quantile scan (the PR 6 race's
+    // shipped fix under the model).
+    record(
+        "LatencyHistogram",
+        "record vs quantile",
+        explore(&cfg, || {
+            let h = Arc::new(LatencyHistogram::new());
+            let (hw, hr) = (Arc::clone(&h), Arc::clone(&h));
+            Scenario::new(vec![
+                Box::new(move || hw.record(std::time::Duration::from_nanos(100))),
+                Box::new(move || {
+                    let snap = hr.snapshot();
+                    let _ = snap.p50();
+                    let _ = snap.quantile(1.0);
+                }),
+            ])
+        }),
+    );
+
+    // EpochOracle: one publish racing one pinned batch (the one-epoch-per-batch
+    // invariant); answers themselves touch no atomics, so this explores exactly the
+    // lock-acquisition interleavings.
+    record(
+        "EpochOracle",
+        "publish vs pinned batch",
+        explore(&cfg, || {
+            let mut rng = StdRng::seed_from_u64(91);
+            let mut g = msrp_graph::generators::connected_gnm(20, 50, &mut rng).unwrap();
+            let sources = [0usize, 7, 14];
+            let initial = ShardedOracle::build_bk_csr(&g.freeze(), &sources, 2);
+            let e = g.edge_vec()[3];
+            let (u, v) = e.endpoints();
+            g.remove_edge(u, v).unwrap();
+            let (next, _) = initial.rebuild_bk_csr(&g.freeze(), e);
+            let epochs = Arc::new(EpochOracle::new(initial));
+            let eb = Arc::clone(&epochs);
+            Scenario::new(vec![
+                Box::new(move || {
+                    epochs.publish(next);
+                }),
+                Box::new(move || {
+                    let queries: Vec<msrp_serve::Query> =
+                        (0..4).map(|t| msrp_serve::Query::new(0, t, e)).collect();
+                    let _ = eb.query_batch_routed(&queries);
+                }),
+            ])
+        }),
+    );
+
+    println!("schedule budget: {budget} (MSRP_MODEL_EXHAUSTIVE=1 lifts it)");
+    table.print();
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = msrp_check::lint::scan_workspace(&root.canonicalize().unwrap());
+    println!(
+        "\nlint wall: {} rules, {} files scanned, {} violations, {} allowlist entries",
+        msrp_check::lint::RULES.len(),
+        report.files_scanned,
+        report.violations.len(),
+        report.allowed.len()
+    );
+    assert!(report.violations.is_empty(), "lint wall must be clean: {:?}", report.violations);
 }

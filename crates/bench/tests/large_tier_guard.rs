@@ -42,9 +42,8 @@ fn no_code_on_the_default_path_requires_bench_large_json() {
             continue;
         }
         mentions.push(path.clone());
-        let opens_files = ["read_to_string", "File::open", "fs::read"]
-            .iter()
-            .any(|call| text.contains(call));
+        let opens_files =
+            ["read_to_string", "File::open", "fs::read"].iter().any(|call| text.contains(call));
         let is_this_guard = path.ends_with("crates/bench/tests/large_tier_guard.rs");
         assert!(
             !opens_files || is_this_guard,
@@ -76,7 +75,7 @@ fn the_default_test_path_is_independent_of_the_artifacts_presence() {
     // The artifact may or may not be checked in; either way this suite (and everything the
     // default `cargo test` runs before it) got this far without touching it.
     let artifact = repo_root().join("BENCH_large.json");
-    let exists = artifact.exists();
-    // Both states are legal; reaching this assertion at all is the guarantee.
-    assert!(exists || !exists);
+    // Both states are legal; reaching this line at all is the guarantee. Record which
+    // state this run saw (visible under `cargo test -- --nocapture`).
+    println!("large-tier artifact present: {}", artifact.exists());
 }

@@ -1,0 +1,39 @@
+//! `msrp-check` — correctness tooling for the workspace's lock-free plane.
+//!
+//! Two halves, matching the two failure modes hand-rolled concurrency has:
+//!
+//! 1. **A bounded model checker** (`model`, compiled in under the `model` feature and
+//!    usable through the [`sync`] facade): the
+//!    serving plane's lock-free structures (`SpanJournal`, `LatencyHistogram`,
+//!    `EpochOracle`) route every atomic and lock through `msrp_check::sync`. In normal
+//!    builds those are pure re-exports of `std` — zero cost, zero behavior change. Under
+//!    the `model` feature (activated automatically for test builds via this crate's
+//!    self-dev-dependency) they become shim types whose operations yield to a
+//!    deterministic scheduler that exhaustively enumerates bounded thread interleavings
+//!    *and* weak-memory read choices, reporting any invariant violation as a concrete
+//!    replayable schedule trace.
+//! 2. **A repo lint wall** ([`lint`], run as `cargo run -p msrp-check --bin msrp-lint`):
+//!    hand-rolled line/token scanning (offline container — no `syn`, no registry) that
+//!    enforces the repo's concurrency hygiene rules: every `Ordering::` site outside the
+//!    shim crates carries an `// ordering:` justification, `unsafe` stays confined to
+//!    the vendored shim crates, `thread::sleep` never substitutes for synchronization in
+//!    test code, and id values in the wire protocol are never narrowed with raw `as`
+//!    casts.
+//!
+//! See `DESIGN.md` ("Correctness tooling") for the facade design and the scheduler's
+//! soundness envelope, and `EXPERIMENTS.md` E14 for exploration statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lint;
+#[cfg(feature = "model")]
+pub mod model;
+#[cfg(feature = "model")]
+mod shim;
+pub mod sync;
+
+/// Returns true when this build of the crate has the model shims compiled in.
+pub const fn model_enabled() -> bool {
+    cfg!(feature = "model")
+}

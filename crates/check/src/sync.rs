@@ -1,0 +1,27 @@
+//! The sync facade: `std` aliases in normal builds, model shims under `feature = "model"`.
+//!
+//! Code in the lock-free plane imports its synchronization primitives from here instead
+//! of `std::sync`. The two configurations expose the same API surface:
+//!
+//! * **Normal builds** (`model` off — every `cargo build`, including `--release`): pure
+//!   re-exports of the `std` types. No wrapper, no branch, no cost; the compiled code is
+//!   bit-identical to importing `std::sync` directly.
+//! * **Model builds** (`model` on — every `cargo test`, through the self-dev-dependency
+//!   in this crate's manifest): shim types (`crate::shim`) that pass straight through to
+//!   an embedded `std` twin outside a model run, and yield each operation to the
+//!   `crate::model` scheduler inside one.
+//!
+//! [`Ordering`] and [`Arc`] are always the `std` items: orderings are data the shims
+//!   interpret, and `Arc` needs no scheduling semantics (it is never a yield point the
+//!   structures under test synchronize through).
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::Arc;
+
+#[cfg(not(feature = "model"))]
+pub use std::sync::atomic::{AtomicU64, AtomicUsize};
+#[cfg(not(feature = "model"))]
+pub use std::sync::RwLock;
+
+#[cfg(feature = "model")]
+pub use crate::shim::{AtomicU64, AtomicUsize, RwLock, RwLockReadGuard, RwLockWriteGuard};

@@ -1,0 +1,8 @@
+//! Pins the feature plumbing the model tests rely on: this crate's own test builds (and
+//! any workspace `cargo test` invocation) see the `model` feature via the
+//! self-dev-dependency, while normal builds are pure `std` aliases.
+
+#[test]
+fn model_feature_is_active_in_test_builds() {
+    assert!(msrp_check::model_enabled());
+}

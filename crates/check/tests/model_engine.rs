@@ -1,0 +1,219 @@
+//! Litmus tests for the model explorer itself: known-good protocols must verify
+//! exhaustively, known-broken ones must produce a concrete failing schedule. If any of
+//! these flips, the model checker — not the code under test — is wrong.
+
+use std::sync::Arc;
+
+use msrp_check::model::{explore, replay, ModelConfig, Scenario};
+use msrp_check::sync::{AtomicU64, Ordering, RwLock};
+
+fn cfg() -> ModelConfig {
+    ModelConfig::default()
+}
+
+/// Two unsynchronized increments: `fetch_add` is atomic, so the final value is exact in
+/// every interleaving (and the DFS must actually exhaust this tiny space).
+#[test]
+fn rmw_increments_never_lose_updates() {
+    let report = explore(&cfg(), || {
+        let c = Arc::new(AtomicU64::new(0));
+        let (a, b, fin) = (Arc::clone(&c), Arc::clone(&c), Arc::clone(&c));
+        Scenario {
+            threads: vec![
+                Box::new(move || {
+                    a.fetch_add(1, Ordering::Relaxed);
+                }),
+                Box::new(move || {
+                    b.fetch_add(1, Ordering::Relaxed);
+                }),
+            ],
+            finally: Some(Box::new(move || {
+                assert_eq!(fin.load(Ordering::Relaxed), 2, "an increment was lost");
+            })),
+        }
+    })
+    .assert_ok();
+    assert!(report.exhausted, "two increments must be exhaustible: {report:?}");
+    assert!(report.schedules >= 2, "both orders must be explored");
+}
+
+/// Message passing done right: data published before a `Release` flag store must be
+/// visible to an `Acquire` load that saw the flag. Exhaustive pass.
+#[test]
+fn message_passing_with_release_acquire_verifies() {
+    let report = explore(&cfg(), || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d1, f1) = (Arc::clone(&data), Arc::clone(&flag));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        Scenario::new(vec![
+            Box::new(move || {
+                d1.store(41, Ordering::Relaxed);
+                d1.store(42, Ordering::Relaxed);
+                // ordering: Release publishes both data stores to the flag's acquirers.
+                f1.store(1, Ordering::Release);
+            }),
+            Box::new(move || {
+                // ordering: Acquire pairs with the Release flag store above.
+                if f2.load(Ordering::Acquire) == 1 {
+                    let v = d2.load(Ordering::Relaxed);
+                    assert_eq!(v, 42, "flag seen but data stale");
+                }
+            }),
+        ])
+    })
+    .assert_ok();
+    assert!(report.exhausted, "message passing must be exhaustible: {report:?}");
+}
+
+/// The same protocol with a `Relaxed` flag is broken: the reader may see the flag and
+/// still read stale data. The DFS must find that schedule — this is exactly the class
+/// of bug (`Acquire`/`Release` mismatch) the checker exists to catch.
+#[test]
+fn message_passing_with_relaxed_flag_is_caught() {
+    let run = |schedule: Option<&[usize]>| {
+        let scenario = || {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (d1, f1) = (Arc::clone(&data), Arc::clone(&flag));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            Scenario::new(vec![
+                Box::new(move || {
+                    d1.store(42, Ordering::Relaxed);
+                    f1.store(1, Ordering::Relaxed); // broken: no release edge
+                }),
+                Box::new(move || {
+                    if f2.load(Ordering::Relaxed) == 1 {
+                        assert_eq!(d2.load(Ordering::Relaxed), 42, "flag seen but data stale");
+                    }
+                }),
+            ])
+        };
+        match schedule {
+            None => explore(&cfg(), scenario),
+            Some(s) => replay(&cfg(), scenario, s),
+        }
+    };
+    let report = run(None);
+    let failure = report.failure.expect("relaxed message passing must fail");
+    assert!(failure.message.contains("data stale"), "unexpected failure: {failure:?}");
+    // The failing schedule replays deterministically to the same violation.
+    let replayed = run(Some(&failure.schedule));
+    let again = replayed.failure.expect("failing schedule must replay");
+    assert_eq!(again.message, failure.message);
+    assert_eq!(again.schedule, failure.schedule);
+}
+
+/// Store buffering: with `Relaxed` everywhere both threads may read 0 — a weak behavior
+/// the explorer must be able to produce (it requires reading a stale initial value).
+#[test]
+fn store_buffering_weak_behavior_is_reachable() {
+    let report = explore(&cfg(), || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let r0 = Arc::new(AtomicU64::new(99));
+        let r1 = Arc::new(AtomicU64::new(99));
+        let (x1, y1, r0w) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&r0));
+        let (x2, y2, r1w) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&r1));
+        let (r0r, r1r) = (Arc::clone(&r0), Arc::clone(&r1));
+        Scenario {
+            threads: vec![
+                Box::new(move || {
+                    x1.store(1, Ordering::Relaxed);
+                    let v = y1.load(Ordering::Relaxed);
+                    r0w.store(v, Ordering::Relaxed);
+                }),
+                Box::new(move || {
+                    y2.store(1, Ordering::Relaxed);
+                    let v = x2.load(Ordering::Relaxed);
+                    r1w.store(v, Ordering::Relaxed);
+                }),
+            ],
+            finally: Some(Box::new(move || {
+                // ordering: quiesced read-back of the per-thread results.
+                let a = r0r.load(Ordering::Relaxed);
+                let b = r1r.load(Ordering::Relaxed);
+                assert!(!(a == 0 && b == 0), "both-zero outcome observed");
+            })),
+        }
+    });
+    let failure = report.failure.expect("store buffering must reach the both-zero outcome");
+    assert!(failure.message.contains("both-zero"));
+}
+
+/// Writer exclusion: an `RwLock` writer and a reader never overlap, and the reader sees
+/// either the old or the new pair — never a torn one.
+#[test]
+fn rwlock_excludes_writers_from_readers() {
+    let report = explore(&cfg(), || {
+        let slot = Arc::new(RwLock::new((0u64, 0u64)));
+        let (w, r) = (Arc::clone(&slot), Arc::clone(&slot));
+        Scenario::new(vec![
+            Box::new(move || {
+                let mut g = w.write().expect("model lock poisoned");
+                g.0 = 7;
+                g.1 = 7;
+            }),
+            Box::new(move || {
+                let g = r.read().expect("model lock poisoned");
+                assert!(
+                    (g.0, g.1) == (0, 0) || (g.0, g.1) == (7, 7),
+                    "torn read through the lock: {:?}",
+                    (g.0, g.1)
+                );
+            }),
+        ])
+    })
+    .assert_ok();
+    assert!(report.exhausted, "lock scenario must be exhaustible: {report:?}");
+}
+
+/// Lock-order inversion deadlocks are reported as such, with the parked thread set.
+#[test]
+fn deadlocks_are_detected_and_reported() {
+    let report = explore(&cfg(), || {
+        let a = Arc::new(RwLock::new(0u64));
+        let b = Arc::new(RwLock::new(0u64));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        Scenario::new(vec![
+            Box::new(move || {
+                let _ga = a1.write().expect("lock");
+                let _gb = b1.write().expect("lock");
+            }),
+            Box::new(move || {
+                let _gb = b2.write().expect("lock");
+                let _ga = a2.write().expect("lock");
+            }),
+        ])
+    });
+    let failure = report.failure.expect("the inverted lock order must deadlock");
+    assert!(failure.message.contains("deadlock"), "got: {}", failure.message);
+}
+
+/// The schedule budget is a hard cap: a scenario with a space far larger than a tiny
+/// budget stops at the cap without exhausting (the bounded-by-default contract that
+/// keeps tier-1 wall time flat; `MSRP_MODEL_EXHAUSTIVE=1` lifts it).
+#[test]
+fn schedule_budget_caps_exploration() {
+    // Many independent operations on separate locations: a huge interleaving space.
+    let tiny = ModelConfig { max_schedules: 25, ..ModelConfig::default() };
+    if tiny.effective_budget() != 25 {
+        // MSRP_MODEL_EXHAUSTIVE set in this environment; the cap is deliberately void.
+        return;
+    }
+    let report = explore(&tiny, || {
+        let locs: Vec<Arc<AtomicU64>> = (0..6).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let mk = |locs: Vec<Arc<AtomicU64>>| {
+            Box::new(move || {
+                for l in &locs {
+                    l.fetch_add(1, Ordering::Relaxed);
+                }
+            }) as Box<dyn FnOnce() + Send>
+        };
+        Scenario::new(vec![mk(locs.clone()), mk(locs.clone()), mk(locs)])
+    })
+    .assert_ok();
+    assert_eq!(report.schedules, 25, "the cap must bind exactly");
+    assert!(!report.exhausted, "this space is far larger than 25 schedules");
+}

@@ -1,0 +1,153 @@
+//! Model-checks the `SpanJournal` seqlock (crates/obs/src/journal.rs): the committed
+//! stamp pair must never let a reader accept a torn payload — and the pre-fix shape
+//! (relaxed payload stores) must demonstrably fail, pinning why `record` uses `Release`
+//! for them.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use msrp_check::model::{explore, replay, ModelConfig, Scenario};
+use msrp_check::sync::{AtomicU64, Ordering};
+use msrp_obs::SpanJournal;
+
+/// The shipped journal: one slot, an overwriting writer, a concurrent snapshotter. Every
+/// accepted event must be internally consistent (payload fields derived from the trace
+/// id). Bounded exploration — the space is large; `MSRP_MODEL_EXHAUSTIVE=1` exhausts it.
+#[test]
+fn committed_stamps_never_yield_torn_payloads() {
+    let report = explore(&ModelConfig::default(), || {
+        let j = Arc::new(SpanJournal::new(1));
+        // Ticket 0 is committed during setup; the writer thread overwrites it with
+        // ticket 1 while the reader snapshots.
+        j.record(event(0), stage(0), worker(0), dur(0));
+        let (jw, jr) = (Arc::clone(&j), Arc::clone(&j));
+        Scenario::new(vec![
+            Box::new(move || {
+                jw.record(event(1), stage(1), worker(1), dur(1));
+            }),
+            Box::new(move || {
+                for e in jr.snapshot().events {
+                    let t = e.trace_id;
+                    assert!(t == event(0) || t == event(1), "unknown trace id {t}");
+                    let k = t - 100;
+                    assert_eq!(e.stage, stage(k), "torn event accepted: {e:?}");
+                    assert_eq!(e.worker, worker(k), "torn event accepted: {e:?}");
+                    assert_eq!(e.duration, dur(k), "torn event accepted: {e:?}");
+                }
+            }),
+        ])
+    })
+    .assert_ok();
+    assert!(report.schedules >= 2, "the race window must actually be explored");
+}
+
+fn event(k: u64) -> u64 {
+    100 + k
+}
+fn stage(k: u64) -> u16 {
+    (7 + k) as u16
+}
+fn worker(k: u64) -> u32 {
+    (3 + k) as u32
+}
+fn dur(k: u64) -> Duration {
+    Duration::from_nanos(10 + k)
+}
+
+/// The pre-fix shape of `SpanJournal::record`: odd stamp (`Release`), *relaxed* payload
+/// store, committed stamp (`Release`). A `Release` store orders prior accesses only, so
+/// nothing orders the relaxed payload after the odd stamp — a reader can observe the new
+/// payload while both stamp loads still return the old committed value, and accept a
+/// torn event. The reader side below is the shipped `snapshot` protocol verbatim.
+struct PreFixSlot {
+    seq: AtomicU64,
+    payload: AtomicU64,
+}
+
+impl PreFixSlot {
+    /// Setup state: ticket 0 committed (stamp 2) with payload `old`.
+    fn committed(old: u64) -> Self {
+        PreFixSlot { seq: AtomicU64::new(2), payload: AtomicU64::new(old) }
+    }
+
+    /// Ticket 1 overwrite with the pre-fix orderings.
+    fn record_prefix_shape(&self, new: u64) {
+        self.seq.store(3, Ordering::Release);
+        self.payload.store(new, Ordering::Relaxed); // the bug: nothing orders this after the odd stamp
+        self.seq.store(4, Ordering::Release);
+    }
+
+    /// The shipped reader: accept ticket 0's payload only if both stamp loads say 2.
+    fn read_ticket0(&self) -> Option<u64> {
+        if self.seq.load(Ordering::Acquire) != 2 {
+            return None;
+        }
+        let p = self.payload.load(Ordering::Acquire);
+        if self.seq.load(Ordering::Acquire) != 2 {
+            return None;
+        }
+        Some(p)
+    }
+}
+
+const OLD: u64 = 5;
+const NEW: u64 = 6;
+
+fn prefix_scenario() -> Scenario {
+    let slot = Arc::new(PreFixSlot::committed(OLD));
+    let (w, r) = (Arc::clone(&slot), Arc::clone(&slot));
+    Scenario::new(vec![
+        Box::new(move || w.record_prefix_shape(NEW)),
+        Box::new(move || {
+            if let Some(p) = r.read_ticket0() {
+                assert_eq!(
+                    p, OLD,
+                    "torn read accepted: stamp said ticket 0, payload is ticket 1's"
+                );
+            }
+        }),
+    ])
+}
+
+/// The explorer must find the torn read against the relaxed payload store, and the
+/// failing schedule must replay deterministically — this is the regression pinning the
+/// `Release` payload stores in the shipped `record`.
+#[test]
+fn relaxed_payload_stores_admit_a_torn_read() {
+    let report = explore(&ModelConfig::default(), prefix_scenario);
+    let failure = report.failure.expect(
+        "the pre-fix journal shape must admit a torn read; if this starts passing, the \
+         model checker lost the weak-memory behavior that motivated the Release fix",
+    );
+    assert!(failure.message.contains("torn read accepted"), "got: {}", failure.message);
+    let replayed = replay(&ModelConfig::default(), prefix_scenario, &failure.schedule)
+        .failure
+        .expect("failing schedule must replay");
+    assert_eq!(replayed.message, failure.message);
+}
+
+/// The same slot protocol with the shipped orderings (`Release` payload store) verifies
+/// exhaustively — the one-word fix closes the window.
+#[test]
+fn release_payload_stores_close_the_window() {
+    let report = explore(&ModelConfig::default(), || {
+        let slot = Arc::new(PreFixSlot::committed(OLD));
+        let (w, r) = (Arc::clone(&slot), Arc::clone(&slot));
+        Scenario::new(vec![
+            Box::new(move || {
+                w.seq.store(3, Ordering::Release);
+                // ordering: Release — the shipped fix: orders the odd stamp before the
+                // payload, so a reader that sees this payload cannot still see stamp 2.
+                w.payload.store(NEW, Ordering::Release);
+                w.seq.store(4, Ordering::Release);
+            }),
+            Box::new(move || {
+                if let Some(p) = r.read_ticket0() {
+                    assert_eq!(p, OLD, "torn read accepted despite Release payload store");
+                }
+            }),
+        ])
+    })
+    .assert_ok();
+    assert!(report.exhausted, "the fixed slot protocol must be fully verified: {report:?}");
+}

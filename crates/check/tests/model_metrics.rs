@@ -1,0 +1,155 @@
+//! Model-checks the latency histogram (crates/serve/src/metrics.rs): `quantile` must
+//! never scan past the buckets while records land mid-snapshot. The PR 6 bug — rank
+//! derived from a `count` that ran ahead of the bucket loads — is reproduced here as an
+//! explicit failing schedule against the pre-fix shape, and the shipped code passes the
+//! very same torn snapshot.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use msrp_check::model::{explore, replay, ModelConfig, Scenario};
+use msrp_check::sync::{AtomicU64, Ordering};
+use msrp_serve::{HistogramSnapshot, LatencyHistogram};
+
+/// The shipped histogram under concurrent record + snapshot: every quantile accessor
+/// must return without panicking, whatever the interleaving. Bounded exploration (a
+/// snapshot alone is 68 atomic loads); `MSRP_MODEL_EXHAUSTIVE=1` lifts the cap.
+#[test]
+fn quantile_never_scans_past_buckets_mid_flush() {
+    explore(&ModelConfig::default(), || {
+        let h = Arc::new(LatencyHistogram::new());
+        let (hw, hr) = (Arc::clone(&h), Arc::clone(&h));
+        Scenario::new(vec![
+            Box::new(move || {
+                hw.record(Duration::from_nanos(100));
+            }),
+            Box::new(move || {
+                let snap = hr.snapshot();
+                // The old unreachable! fired inside quantile when count outran the
+                // buckets; any panic here becomes a failing schedule.
+                let _ = snap.p50();
+                let _ = snap.p99();
+                let _ = snap.quantile(1.0);
+                assert!(snap.count <= 1, "count overshot the single record");
+            }),
+        ])
+    })
+    .assert_ok();
+}
+
+/// The pre-fix quantile shape: rank derived from the snapshot's `count` field instead of
+/// the bucket sum. Kept to four buckets so the model state stays tiny; the failure mode
+/// is identical to the shipped 64-bucket layout.
+struct PreFixHistogram {
+    buckets: [AtomicU64; 4],
+    count: AtomicU64,
+}
+
+impl PreFixHistogram {
+    fn new() -> Self {
+        PreFixHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn record_bucket0(&self) {
+        self.buckets[0].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The shipped snapshot load order: buckets first, `count` after — which is exactly
+    /// what lets `count` run ahead of the bucket sum.
+    fn snapshot(&self) -> (Vec<u64>, u64) {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count = self.count.load(Ordering::Relaxed);
+        (buckets, count)
+    }
+
+    /// Pre-fix rank computation. The panic replicates the old `unreachable!`.
+    fn quantile_prefix_shape(buckets: &[u64], count: u64, q: f64) -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let rank = (q * count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        panic!("rank {rank} exceeds bucket sum {seen}: count ran ahead of the buckets");
+    }
+}
+
+fn prefix_scenario() -> Scenario {
+    let h = Arc::new(PreFixHistogram::new());
+    let (hw, hr) = (Arc::clone(&h), Arc::clone(&h));
+    Scenario::new(vec![
+        Box::new(move || hw.record_bucket0()),
+        Box::new(move || {
+            let (buckets, count) = hr.snapshot();
+            let _ = PreFixHistogram::quantile_prefix_shape(&buckets, count, 0.5);
+        }),
+    ])
+}
+
+/// The count-ahead interleaving, written out as the explicit schedule that PR 6 fixed:
+///
+/// 1. reader loads `buckets[0]` → 0 (decision 1: step the reader, not the writer)
+/// 2. writer bumps `buckets[0]`   (decision 0: back to the writer)
+/// 3. writer bumps `count`        (decision 1: writer again, ahead of the reader)
+/// 4. reader loads `count` → 1    (decision 0: newest store)
+///
+/// then reads of buckets 1–3 see 0, rank = ceil(0.5 · 1) = 1 exceeds the bucket sum 0,
+/// and the pre-fix `unreachable!` fires. The pure-SC interleaving needs no weak-memory
+/// reasoning, which is why the original race escaped into production unseen.
+const COUNT_AHEAD_SCHEDULE: [usize; 4] = [1, 0, 1, 0];
+
+#[test]
+fn count_ahead_schedule_breaks_the_prefix_shape() {
+    let failure = replay(&ModelConfig::default(), prefix_scenario, &COUNT_AHEAD_SCHEDULE)
+        .failure
+        .expect("the explicit count-ahead schedule must fail the pre-fix quantile");
+    assert!(
+        failure.message.contains("count ran ahead"),
+        "wrong failure on the pinned schedule: {}",
+        failure.message
+    );
+    // Exploration also finds it unaided — the pinned schedule is not load-bearing for
+    // detection, only for documenting the interleaving.
+    let found = explore(&ModelConfig::default(), prefix_scenario)
+        .failure
+        .expect("exploration must rediscover the count-ahead race");
+    assert!(found.message.contains("count ran ahead"));
+}
+
+/// The shipped `HistogramSnapshot::quantile` answers the *same* torn snapshot (bucket
+/// sum 0, count 1) without panicking: the rank comes from the buckets alone.
+#[test]
+fn shipped_quantile_survives_the_same_torn_snapshot() {
+    explore(&ModelConfig::default(), || {
+        let h = Arc::new(PreFixHistogram::new());
+        let (hw, hr) = (Arc::clone(&h), Arc::clone(&h));
+        Scenario::new(vec![
+            Box::new(move || hw.record_bucket0()),
+            Box::new(move || {
+                let (mut buckets, count) = hr.snapshot();
+                buckets.resize(64, 0);
+                let snap = HistogramSnapshot {
+                    buckets,
+                    count,
+                    sum_ns: u128::from(count) * 100,
+                    max_ns: 100,
+                };
+                let _ = snap.p50();
+                let _ = snap.quantile(1.0);
+            }),
+        ])
+    })
+    .assert_ok()
+    .exhausted
+    .then_some(())
+    .expect("the four-op space must exhaust");
+}

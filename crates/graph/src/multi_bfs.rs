@@ -215,7 +215,15 @@ impl MultiBfsScratch {
         while !self.active.is_empty() {
             level += 1;
             let MultiBfsScratch {
-                frontier, next, visited, active, touched, dist, avoid_pairs, avoid_flag, ..
+                frontier,
+                next,
+                visited,
+                active,
+                touched,
+                dist,
+                avoid_pairs,
+                avoid_flag,
+                ..
             } = self;
             touched.clear();
             for &v in active.iter() {
@@ -307,7 +315,12 @@ pub fn bfs_trees_wave(
 /// `dist[w] == dist[v] + 1` on first touch makes `parent(w)` the minimum-position frontier
 /// neighbour and the append order per-parent grouped, ascending id within a group — the two
 /// invariants of the top-down kernel.
-fn tree_from_lane(g: &CsrGraph, source: Vertex, wave: &MultiBfsScratch, lane: usize) -> ShortestPathTree {
+fn tree_from_lane(
+    g: &CsrGraph,
+    source: Vertex,
+    wave: &MultiBfsScratch,
+    lane: usize,
+) -> ShortestPathTree {
     let n = g.vertex_count();
     let dist = wave.lane_dist_vec(lane);
     let mut parent: Vec<u32> = vec![NO_PARENT; n];

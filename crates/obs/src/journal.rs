@@ -9,8 +9,20 @@
 //! with `Acquire` before and after reading the payload and accepts the event only if
 //! both loads saw `2t + 2` — a torn or concurrently overwritten slot is *skipped*, never
 //! misattributed. Stamps are unique per ticket, so an older committed event can never be
-//! mistaken for a newer one. No `unsafe` is involved; the payload fields are plain
-//! relaxed atomics and the stamp pair orders them.
+//! mistaken for a newer one. No `unsafe` is involved.
+//!
+//! The payload stores themselves are `Release`, not `Relaxed`. The committed stamp
+//! (`Release`) orders them *before* itself for the accept path, but only the payload
+//! stores' own `Release` orders them *after* the odd stamp on the reject path: a
+//! `Release` store orders prior accesses, not later ones, so with relaxed payload
+//! stores a reader could observe a later ticket's payload while both stamp loads still
+//! return the earlier committed value — a torn event accepted as clean. The model
+//! checker in `msrp-check` reproduces that schedule against the relaxed shape
+//! (`crates/check/tests/model_journal.rs`); on x86 the stronger stores compile to the
+//! same plain `mov`s.
+//!
+//! All atomics go through [`msrp_check::sync`]: plain `std` re-exports in normal
+//! builds, schedule-instrumented shims under the `model` feature.
 //!
 //! # Drops are counted, not blocked
 //!
@@ -20,7 +32,7 @@
 //! [`JournalSnapshot::dropped`] reports exactly how many events were lost, so dashboards
 //! can surface under-provisioned journals instead of silently stalling workers.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use msrp_check::sync::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// One committed span event read back from the journal.
@@ -99,19 +111,32 @@ impl SpanJournal {
 
     /// Records one span event. Overwrites the oldest event once the ring is full.
     pub fn record(&self, trace_id: u64, stage: u16, worker: u32, duration: Duration) {
+        // ordering: Relaxed — the ticket claim needs atomicity only; slot visibility is
+        // carried entirely by the per-slot stamp protocol below.
         let t = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(t % self.slots.len() as u64) as usize];
         let committed = t.wrapping_mul(2).wrapping_add(2);
+        // ordering: Release — the odd stamp must not sink below later payload stores in
+        // *other* threads' view; combined with the payload stores' own Release it keeps
+        // "stamp says mid-write" visible whenever a fresher payload is.
         slot.seq.store(committed.wrapping_sub(1), Ordering::Release);
-        slot.trace_id.store(trace_id, Ordering::Relaxed);
-        slot.meta.store(pack_meta(stage, worker), Ordering::Relaxed);
+        // ordering: Release (not Relaxed) — each payload store orders the preceding odd
+        // stamp before itself, so a reader that Acquire-loads fresh payload cannot still
+        // see the stale committed stamp and accept a torn event. See the module docs;
+        // regression: crates/check/tests/model_journal.rs.
+        slot.trace_id.store(trace_id, Ordering::Release);
+        slot.meta.store(pack_meta(stage, worker), Ordering::Release); // ordering: Release — see above
         let ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
-        slot.dur_ns.store(ns, Ordering::Relaxed);
+        slot.dur_ns.store(ns, Ordering::Release); // ordering: Release — see above
+                                                  // ordering: Release — commits the payload: a reader whose first Acquire stamp
+                                                  // load sees `committed` also sees every payload store above (seqlock publish).
         slot.seq.store(committed, Ordering::Release);
     }
 
     /// Total events ever recorded (including dropped ones).
     pub fn total_recorded(&self) -> u64 {
+        // ordering: Relaxed — a monotonic counter read for sizing; the snapshot loop
+        // re-validates every slot through the stamp protocol, so no edge is needed here.
         self.head.load(Ordering::Relaxed)
     }
 
@@ -133,13 +158,20 @@ impl SpanJournal {
         for t in first..total {
             let slot = &self.slots[(t % cap) as usize];
             let committed = t.wrapping_mul(2).wrapping_add(2);
+            // ordering: Acquire — pairs with the writer's committed Release stamp; a
+            // matching load here makes every payload store of ticket `t` visible below.
             if slot.seq.load(Ordering::Acquire) != committed {
                 skipped += 1;
                 continue;
             }
+            // ordering: Acquire — pairs with the Release payload stores: if any load
+            // observes a *later* ticket's payload, the odd stamp released before it is
+            // visible too, and the recheck below rejects the slot.
             let trace_id = slot.trace_id.load(Ordering::Acquire);
-            let meta = slot.meta.load(Ordering::Acquire);
-            let dur_ns = slot.dur_ns.load(Ordering::Acquire);
+            let meta = slot.meta.load(Ordering::Acquire); // ordering: Acquire — see above
+            let dur_ns = slot.dur_ns.load(Ordering::Acquire); // ordering: Acquire — see above
+                                                              // ordering: Acquire — the seqlock validation read; must not be reordered
+                                                              // before the payload loads above, or the window it validates is wrong.
             if slot.seq.load(Ordering::Acquire) != committed {
                 skipped += 1;
                 continue;
@@ -205,6 +237,9 @@ impl TraceIdGen {
 
     /// Returns the next trace id.
     pub fn next_id(&self) -> u64 {
+        // ordering: Relaxed — the counter only needs uniqueness, not publication; the id
+        // value travels to other threads inside journal slots or messages that carry
+        // their own edges.
         let i = self.next.fetch_add(1, Ordering::Relaxed);
         mix(self.seed, i)
     }

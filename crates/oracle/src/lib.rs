@@ -37,8 +37,8 @@ use msrp_graph::{
     INFINITE_DISTANCE, INFINITE_WEIGHT,
 };
 use msrp_rpath::{
-    single_source_brute_force_wave, single_source_brute_force_weighted,
-    SourceReplacementDistances, WeightedReplacementDistances,
+    single_source_brute_force_wave, single_source_brute_force_weighted, SourceReplacementDistances,
+    WeightedReplacementDistances,
 };
 
 /// A single-edge-fault distance oracle for a fixed set of sources.

@@ -16,8 +16,12 @@
 //! which epoch *later* batches see, never the consistency of the one in flight. Between the
 //! event arriving and `publish` returning, answers legitimately describe the pre-event
 //! graph; that interval is the *staleness window* the churn metrics record.
+//!
+//! The slot's `RwLock` comes from [`msrp_check::sync`] (a plain `std::sync::RwLock`
+//! re-export in normal builds), so `crates/check/tests/model_epoch.rs` can exhaustively
+//! interleave `publish` against pinned batches and prove the epoch invariant.
 
-use std::sync::{Arc, RwLock};
+use msrp_check::sync::{Arc, RwLock};
 
 use msrp_graph::Distance;
 

@@ -6,8 +6,13 @@
 //! many samples it absorbs, and quantiles are read off the cumulative bucket counts with at
 //! most 2× relative error — the standard trade-off for serving-side p50/p99 tracking. All
 //! counters are atomics: recording is lock-free and safe from any worker or client thread.
+//!
+//! Atomics go through [`msrp_check::sync`] (plain `std` re-exports in normal builds),
+//! so `crates/check/tests/model_metrics.rs` can run `record`/`snapshot` under the
+//! bounded model checker and pin the snapshot-tearing contract documented on
+//! [`HistogramSnapshot::quantile`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use msrp_check::sync::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use msrp_oracle::RebuildStats;
@@ -55,29 +60,41 @@ impl LatencyHistogram {
     /// Records one latency sample.
     pub fn record(&self, latency: Duration) {
         let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        // ordering: Relaxed — histogram counters are deliberately unsynchronized with
+        // each other; snapshots are statistical, and `quantile` is written to tolerate
+        // counters that run ahead of the buckets (see `HistogramSnapshot::quantile` and
+        // crates/check/tests/model_metrics.rs). Each counter only needs atomicity.
         self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — same statistical-counter contract as the bucket add above.
         self.count.fetch_add(1, Ordering::Relaxed);
         // Wrapping fetch_add plus carry detection: the recorder whose addend crossed the
         // 2^64 boundary (pre-add value + addend overflows) bumps the high word, and
         // linearizability of fetch_add guarantees every crossing has exactly one such
         // recorder — the sum stays exact for centuries of accumulated latency.
+        // ordering: Relaxed — the carry protocol needs only RMW atomicity (exactly one
+        // recorder observes each wrap), not any cross-location ordering.
         let prev = self.sum_lo.fetch_add(ns, Ordering::Relaxed);
         if prev.checked_add(ns).is_none() {
+            // ordering: Relaxed — carry increment; monotonic, readers tolerate lag.
             self.sum_hi.fetch_add(1, Ordering::Relaxed);
         }
+        // ordering: Relaxed — running max; fetch_max atomicity alone keeps it exact.
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
     /// Takes a consistent-enough snapshot for reporting (individual counters are read
     /// atomically; the histogram keeps absorbing samples while a snapshot is taken).
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // ordering: Relaxed (all loads below) — a reporting snapshot is allowed to tear
+        // across counters; every consumer (quantile, mean, merge) is written against
+        // that weaker contract, and the model test pins it.
         let hi = self.sum_hi.load(Ordering::Relaxed);
-        let lo = self.sum_lo.load(Ordering::Relaxed);
+        let lo = self.sum_lo.load(Ordering::Relaxed); // ordering: Relaxed — see above
         HistogramSnapshot {
-            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
-            count: self.count.load(Ordering::Relaxed),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(), // ordering: Relaxed — see above
+            count: self.count.load(Ordering::Relaxed), // ordering: Relaxed — see above
             sum_ns: (u128::from(hi) << 64) | u128::from(lo),
-            max_ns: self.max_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed), // ordering: Relaxed — see above
         }
     }
 }
@@ -241,19 +258,25 @@ impl ServiceMetrics {
         rebuild: Duration,
         stats: &RebuildStats,
     ) {
+        // ordering: Relaxed — published epoch id is advisory for dashboards; the
+        // authoritative epoch travels through `EpochOracle`'s lock. fetch_max keeps it
+        // monotonic under out-of-order swap recording.
         self.epoch.fetch_max(epoch, Ordering::Relaxed);
         self.staleness_window.record(staleness);
         self.rebuild_latency.record(rebuild);
-        self.sources_total.fetch_add(stats.sources_total as u64, Ordering::Relaxed);
-        self.sources_reused_total.fetch_add(stats.sources_reused as u64, Ordering::Relaxed);
-        self.sources_patched_total.fetch_add(stats.sources_patched as u64, Ordering::Relaxed);
-        self.sources_rebuilt_total.fetch_add(stats.sources_rebuilt as u64, Ordering::Relaxed);
-        self.cuts_recomputed_total.fetch_add(stats.cuts_recomputed as u64, Ordering::Relaxed);
-        self.cuts_total.fetch_add(stats.cuts_total as u64, Ordering::Relaxed);
+        // ordering: Relaxed — independent statistical accumulators; atomicity per
+        // counter is all a reporting snapshot relies on.
+        let add = |counter: &AtomicU64, v: u64| counter.fetch_add(v, Ordering::Relaxed);
+        add(&self.sources_total, stats.sources_total as u64);
+        add(&self.sources_reused_total, stats.sources_reused as u64);
+        add(&self.sources_patched_total, stats.sources_patched as u64);
+        add(&self.sources_rebuilt_total, stats.sources_rebuilt as u64);
+        add(&self.cuts_recomputed_total, stats.cuts_recomputed as u64);
+        add(&self.cuts_total, stats.cuts_total as u64);
         let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
-        self.reuse_time_ns.fetch_add(ns(stats.reuse_time), Ordering::Relaxed);
-        self.patch_time_ns.fetch_add(ns(stats.patch_time), Ordering::Relaxed);
-        self.rebuild_time_ns.fetch_add(ns(stats.rebuild_time), Ordering::Relaxed);
+        add(&self.reuse_time_ns, ns(stats.reuse_time));
+        add(&self.patch_time_ns, ns(stats.patch_time));
+        add(&self.rebuild_time_ns, ns(stats.rebuild_time));
     }
 
     /// Flushes one batch's worth of routing counts: `shard_counts[i]` queries were routed to
@@ -266,43 +289,51 @@ impl ServiceMetrics {
         let mut total = unroutable;
         for (counter, &count) in self.shard_queries.iter().zip(shard_counts) {
             if count > 0 {
+                // ordering: Relaxed — per-shard tallies; statistical-counter contract.
                 counter.fetch_add(count, Ordering::Relaxed);
             }
             total += count;
         }
+        // ordering: Relaxed — totals may momentarily disagree with the per-shard split
+        // in a snapshot; consumers treat the counters as independent.
         self.queries_total.fetch_add(total, Ordering::Relaxed);
         if unroutable > 0 {
+            // ordering: Relaxed — same statistical-counter contract.
             self.unroutable_total.fetch_add(unroutable, Ordering::Relaxed);
         }
     }
 
     /// Records one completed batch for `worker`.
     pub fn record_batch(&self, worker: usize, latency: Duration) {
+        // ordering: Relaxed — per-worker batch tally; statistical-counter contract.
         self.worker_batches[worker].fetch_add(1, Ordering::Relaxed);
         self.batch_latency.record(latency);
     }
 
     /// Takes a reporting snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        // ordering: Relaxed — reporting loads of independent statistical counters; the
+        // snapshot is allowed to tear across them (see `LatencyHistogram::snapshot`).
+        let ld = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
         MetricsSnapshot {
             batch_latency: self.batch_latency.snapshot(),
             staleness_window: self.staleness_window.snapshot(),
             rebuild_latency: self.rebuild_latency.snapshot(),
-            epoch: self.epoch.load(Ordering::Relaxed),
-            queries_total: self.queries_total.load(Ordering::Relaxed),
-            unroutable_total: self.unroutable_total.load(Ordering::Relaxed),
-            shard_queries: self.shard_queries.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
-            worker_batches: self.worker_batches.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            epoch: ld(&self.epoch),
+            queries_total: ld(&self.queries_total),
+            unroutable_total: ld(&self.unroutable_total),
+            shard_queries: self.shard_queries.iter().map(&ld).collect(),
+            worker_batches: self.worker_batches.iter().map(&ld).collect(),
             rebuild: RebuildStats {
-                sources_total: self.sources_total.load(Ordering::Relaxed) as usize,
-                sources_reused: self.sources_reused_total.load(Ordering::Relaxed) as usize,
-                sources_patched: self.sources_patched_total.load(Ordering::Relaxed) as usize,
-                sources_rebuilt: self.sources_rebuilt_total.load(Ordering::Relaxed) as usize,
-                cuts_total: self.cuts_total.load(Ordering::Relaxed) as usize,
-                cuts_recomputed: self.cuts_recomputed_total.load(Ordering::Relaxed) as usize,
-                reuse_time: Duration::from_nanos(self.reuse_time_ns.load(Ordering::Relaxed)),
-                patch_time: Duration::from_nanos(self.patch_time_ns.load(Ordering::Relaxed)),
-                rebuild_time: Duration::from_nanos(self.rebuild_time_ns.load(Ordering::Relaxed)),
+                sources_total: ld(&self.sources_total) as usize,
+                sources_reused: ld(&self.sources_reused_total) as usize,
+                sources_patched: ld(&self.sources_patched_total) as usize,
+                sources_rebuilt: ld(&self.sources_rebuilt_total) as usize,
+                cuts_total: ld(&self.cuts_total) as usize,
+                cuts_recomputed: ld(&self.cuts_recomputed_total) as usize,
+                reuse_time: Duration::from_nanos(ld(&self.reuse_time_ns)),
+                patch_time: Duration::from_nanos(ld(&self.patch_time_ns)),
+                rebuild_time: Duration::from_nanos(ld(&self.rebuild_time_ns)),
             },
         }
     }

@@ -1,9 +1,9 @@
-//! Experiment harness: regenerates the derived tables E1–E14 described in `EXPERIMENTS.md`.
+//! Experiment harness: regenerates the derived tables E1–E15 described in `EXPERIMENTS.md`.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run -p msrp-bench --release --bin experiments -- [e1|...|e14|all] [--quick] [--large] [--list]
+//! cargo run -p msrp-bench --release --bin experiments -- [e1|...|e15|all] [--quick] [--large] [--list]
 //! ```
 //!
 //! `--quick` shrinks the instance sizes so that every experiment finishes in a few seconds
@@ -39,12 +39,14 @@ use msrp_oracle::{shard_sources, ReplacementPathOracle, BK_STAGES};
 use msrp_rpath::{
     single_source_brute_force, single_source_brute_force_weighted, single_source_via_single_pair,
 };
-use msrp_serve::{run_closed_loop, LoadConfig, QueryService, ServiceConfig, ShardedOracle};
+use msrp_serve::{
+    run_closed_loop, LoadConfig, QueryService, ServiceConfig, ShardedOracle, WeightedShardedOracle,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Every experiment id with its one-line description (printed by `--list`).
-const EXPERIMENTS: [(&str, &str); 14] = [
+const EXPERIMENTS: [(&str, &str); 15] = [
     ("e1", "single-source scaling (Theorem 14) vs the two O~(mn) baselines"),
     ("e2", "multi-source scaling in sigma (Theorem 1/26) on a fixed graph"),
     ("e3", "exactness rate of the randomized algorithm, paper vs scaled constants"),
@@ -59,6 +61,7 @@ const EXPERIMENTS: [(&str, &str); 14] = [
     ("e12", "build/rebuild stage profile: where BK preprocessing and ladder time goes"),
     ("e13", "traversal kernels at scale: dir-opt + 64-way wave BFS, --large memory tier"),
     ("e14", "model-checker exploration: schedules/steps per lock-free structure + lint wall"),
+    ("e15", "snapshot persistence: boot-from-snapshot vs rebuilding the oracle from scratch"),
 ];
 
 fn main() {
@@ -127,6 +130,9 @@ fn main() {
     }
     if run("e14") {
         experiment_e14(quick);
+    }
+    if run("e15") {
+        experiment_e15(quick);
     }
 }
 
@@ -952,4 +958,72 @@ fn experiment_e14(quick: bool) {
         report.allowed.len()
     );
     assert!(report.violations.is_empty(), "lint wall must be clean: {:?}", report.violations);
+}
+
+/// E15 — snapshot persistence: boot a serving oracle from a `msrp-snap` buffer
+/// (checksum walk + validated table adoption) against re-running the BK construction
+/// from the frozen graph. The booted oracle is proven **bit-identical** before any row
+/// is printed: re-encoding it must reproduce the snapshot byte-for-byte (the canonical
+/// round trip the snapshot fuzz battery pins), so the speedup column compares two
+/// routes to the same answers.
+fn experiment_e15(quick: bool) {
+    println!("\n=== E15: snapshot persistence — boot-from-snapshot vs rebuild ===");
+    let sizes: &[usize] = if quick { &[512, 1024] } else { &[1 << 12, 1 << 14, 1 << 16] };
+    let sigma = 2;
+    let mut table = Table::new([
+        "metric",
+        "n",
+        "m",
+        "sigma",
+        "bytes",
+        "encode (s)",
+        "build (s)",
+        "boot (s)",
+        "speedup",
+        "bit-identical",
+    ]);
+    for &n in sizes {
+        let g = standard_graph(WorkloadKind::SparseRandom, n, 7).freeze();
+        let sources = evenly_spaced_sources(n, sigma);
+        let (oracle, build_secs) = time_secs(|| ShardedOracle::build_bk_csr(&g, &sources, 2));
+        let (bytes, encode_secs) = time_secs(|| oracle.to_snapshot(&g));
+        let ((g2, booted), boot_secs) =
+            time_secs(|| ShardedOracle::from_snapshot(&bytes).expect("pristine snapshot"));
+        let identical = g2 == g && booted.to_snapshot(&g2) == bytes;
+        table.add_row([
+            "hop".to_string(),
+            n.to_string(),
+            g.edge_count().to_string(),
+            sigma.to_string(),
+            bytes.len().to_string(),
+            format!("{encode_secs:.4}"),
+            format!("{build_secs:.4}"),
+            format!("{boot_secs:.4}"),
+            format!("{:.1}x", build_secs / boot_secs.max(1e-9)),
+            identical.to_string(),
+        ]);
+    }
+    // One weighted row: the subtree-Dijkstra build is costlier per vertex, so the
+    // boot-from-snapshot win is even larger — a smaller n keeps the harness fast.
+    let n = if quick { 256 } else { 2048 };
+    let g = standard_weighted_graph(WorkloadKind::SparseRandom, n, 7, 1000).freeze();
+    let sources = evenly_spaced_sources(n, sigma);
+    let (oracle, build_secs) = time_secs(|| WeightedShardedOracle::build(&g, &sources, 2));
+    let (bytes, encode_secs) = time_secs(|| oracle.to_snapshot(&g));
+    let ((g2, booted), boot_secs) =
+        time_secs(|| WeightedShardedOracle::from_snapshot(&bytes).expect("pristine snapshot"));
+    let identical = g2 == g && booted.to_snapshot(&g2) == bytes;
+    table.add_row([
+        "weighted".to_string(),
+        n.to_string(),
+        g.edge_count().to_string(),
+        sigma.to_string(),
+        bytes.len().to_string(),
+        format!("{encode_secs:.4}"),
+        format!("{build_secs:.4}"),
+        format!("{boot_secs:.4}"),
+        format!("{:.1}x", build_secs / boot_secs.max(1e-9)),
+        identical.to_string(),
+    ]);
+    table.print();
 }

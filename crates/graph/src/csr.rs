@@ -16,6 +16,7 @@
 
 use crate::distance::INFINITE_DISTANCE;
 use crate::edge::Edge;
+use crate::error::GraphError;
 use crate::graph::{Graph, Vertex};
 
 /// Sentinel entry of the flat parent arrays ([`BfsScratch::parent_raw`] and the sibling
@@ -83,6 +84,88 @@ impl CsrGraph {
         }
         let max_degree = adj.iter().map(Vec::len).max().unwrap_or(0) as u32;
         CsrGraph { offsets, targets, edge_count, max_degree }
+    }
+
+    /// Rebuilds a frozen graph from raw CSR arrays, validating every structural invariant
+    /// the freeze path guarantees: `offsets` starts at 0, is monotone, and ends at
+    /// `targets.len()`; every target id is in range; each neighbour row is strictly
+    /// ascending (sorted, no duplicates, no self-loops); and each undirected edge appears
+    /// as exactly two arcs. `edge_count` and `max_degree` are recomputed, so a graph built
+    /// here is indistinguishable from one built by [`Graph::freeze`] — this is the
+    /// trust boundary the snapshot loader (`msrp-snap`) adopts decoded buffers through.
+    pub fn from_raw_parts(offsets: Vec<u32>, targets: Vec<u32>) -> Result<Self, GraphError> {
+        let malformed = |reason: String| GraphError::MalformedCsr { reason };
+        if offsets.is_empty() {
+            return Err(malformed("offsets array is empty (need at least [0])".into()));
+        }
+        let n = offsets.len() - 1;
+        if n >= u32::MAX as usize {
+            return Err(malformed(format!("{n} vertices overflow u32 vertex ids")));
+        }
+        if offsets[0] != 0 {
+            return Err(malformed(format!("offsets[0] is {}, not 0", offsets[0])));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(malformed("offsets are not monotone non-decreasing".into()));
+        }
+        if offsets[n] as usize != targets.len() {
+            return Err(malformed(format!(
+                "offsets end at {} but there are {} arcs",
+                offsets[n],
+                targets.len()
+            )));
+        }
+        if !targets.len().is_multiple_of(2) {
+            return Err(malformed(format!(
+                "odd arc count {} cannot pair into undirected edges",
+                targets.len()
+            )));
+        }
+        let mut max_degree = 0u32;
+        for v in 0..n {
+            let row = &targets[offsets[v] as usize..offsets[v + 1] as usize];
+            max_degree = max_degree.max(row.len() as u32);
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(malformed(format!("row of vertex {v} is not strictly ascending")));
+            }
+            if row.iter().any(|&t| t as usize >= n || t as usize == v) {
+                return Err(malformed(format!("row of vertex {v} has an invalid target id")));
+            }
+        }
+        let edge_count = targets.len() / 2;
+        let graph = CsrGraph { offsets, targets, edge_count, max_degree };
+        // Arc symmetry: every arc u→v must have its reverse v→u. Rows are sorted, so each
+        // check is one binary search; O(m log d) total, paid once at adoption time.
+        for u in 0..n {
+            for &v in &graph.targets[graph.offsets[u] as usize..graph.offsets[u + 1] as usize] {
+                let vr = graph.neighbor_row(v as usize);
+                if vr.binary_search(&(u as u32)).is_err() {
+                    return Err(malformed(format!("arc {u}->{v} has no reverse arc")));
+                }
+            }
+        }
+        Ok(graph)
+    }
+
+    /// Decomposes into the raw `(offsets, targets)` arrays (crate-internal: the weighted
+    /// validator reuses the unweighted one without copying the arrays back out).
+    pub(crate) fn into_raw_parts(self) -> (Vec<u32>, Vec<u32>) {
+        (self.offsets, self.targets)
+    }
+
+    /// The raw offsets array (`n + 1` words; row `v` is `offsets[v]..offsets[v + 1]`).
+    ///
+    /// Exposed (read-only) so serializers can persist the frozen layout verbatim; the
+    /// inverse is [`from_raw_parts`](Self::from_raw_parts).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw concatenated neighbour rows (length `2m`, each row sorted ascending).
+    #[inline]
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
     }
 
     /// Number of vertices.

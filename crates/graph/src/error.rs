@@ -38,6 +38,12 @@ pub enum GraphError {
         /// Human readable description of the problem.
         reason: String,
     },
+    /// Raw CSR arrays handed to [`crate::CsrGraph::from_raw_parts`] (or its weighted twin)
+    /// failed structural validation — the arrays do not describe a simple undirected graph.
+    MalformedCsr {
+        /// Human readable description of the structural violation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -58,6 +64,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::InvalidParameters { reason } => {
                 write!(f, "invalid generator parameters: {reason}")
+            }
+            GraphError::MalformedCsr { reason } => {
+                write!(f, "malformed CSR arrays: {reason}")
             }
         }
     }

@@ -90,14 +90,7 @@ impl ShortestPathTree {
     pub fn from_bfs(bfs: BfsResult) -> Self {
         let BfsResult { source, dist, parent, order } = bfs;
         let n = dist.len();
-        // Children lists in deterministic order (BFS order is already deterministic).
-        let mut children: Vec<Vec<Vertex>> = vec![Vec::new(); n];
-        for &v in &order {
-            if let Some(p) = parent[v] {
-                children[p].push(v);
-            }
-        }
-        let (tin, tout) = euler_times(source, n, &children);
+        let (tin, tout) = euler_times(source, n, &order, &parent);
         ShortestPathTree { source, dist, parent, order, tin, tout }
     }
 
@@ -279,34 +272,61 @@ impl ShortestPathTree {
     }
 }
 
-/// Euler entry/exit times of the rooted tree given by `children` (iterative DFS from
-/// `source`; unreachable vertices keep time 0). Shared by the unweighted
-/// [`ShortestPathTree`] and the weighted [`WeightedTree`](crate::WeightedTree), whose
-/// `O(1)` ancestry tests both reduce to interval containment of these times.
+/// Euler entry/exit times of the rooted tree given by its settle `order` and `parent`
+/// array (iterative DFS from `source`, visiting each vertex's children in settle order;
+/// unreachable vertices keep time 0). Shared by the unweighted [`ShortestPathTree`] and
+/// the weighted [`WeightedTree`](crate::WeightedTree), whose `O(1)` ancestry tests both
+/// reduce to interval containment of these times.
+///
+/// The children adjacency is materialised as a flat counting-sorted CSR (one count pass,
+/// one fill pass over `order`) instead of per-vertex `Vec`s: the tree re-annotation on
+/// the snapshot boot path runs this once per persisted source, where `n` small heap
+/// allocations dominated the old `Vec<Vec<_>>` shape. Counting sort over `order` is
+/// stable, so each vertex's children appear in settle order — the same DFS visit order
+/// (and therefore bit-identical times) as the nested-`Vec` construction produced.
 pub(crate) fn euler_times(
     source: Vertex,
     n: usize,
-    children: &[Vec<Vertex>],
+    order: &[Vertex],
+    parent: &[Option<Vertex>],
 ) -> (Vec<u32>, Vec<u32>) {
     let mut tin = vec![0u32; n];
     let mut tout = vec![0u32; n];
+    if n == 0 {
+        return (tin, tout);
+    }
+    let mut off = vec![0u32; n + 1];
+    for &v in order {
+        if let Some(p) = parent[v] {
+            off[p + 1] += 1;
+        }
+    }
+    for v in 0..n {
+        off[v + 1] += off[v];
+    }
+    let mut next: Vec<u32> = off[..n].to_vec();
+    let mut kids: Vec<u32> = vec![0; off[n] as usize];
+    for &v in order {
+        if let Some(p) = parent[v] {
+            kids[next[p] as usize] = v as u32;
+            next[p] += 1;
+        }
+    }
     let mut timer: u32 = 1;
-    if n > 0 {
-        let mut stack: Vec<(Vertex, usize)> = vec![(source, 0)];
-        tin[source] = timer;
-        timer += 1;
-        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
-            if *idx < children[v].len() {
-                let c = children[v][*idx];
-                *idx += 1;
-                tin[c] = timer;
-                timer += 1;
-                stack.push((c, 0));
-            } else {
-                tout[v] = timer;
-                timer += 1;
-                stack.pop();
-            }
+    let mut stack: Vec<(Vertex, u32)> = vec![(source, off[source])];
+    tin[source] = timer;
+    timer += 1;
+    while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+        if *idx < off[v + 1] {
+            let c = kids[*idx as usize] as Vertex;
+            *idx += 1;
+            tin[c] = timer;
+            timer += 1;
+            stack.push((c, off[c]));
+        } else {
+            tout[v] = timer;
+            timer += 1;
+            stack.pop();
         }
     }
     (tin, tout)

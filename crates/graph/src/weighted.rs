@@ -245,6 +245,62 @@ impl Default for WeightedCsrGraph {
 }
 
 impl WeightedCsrGraph {
+    /// Rebuilds a frozen weighted graph from raw CSR arrays — the weighted twin of
+    /// [`CsrGraph::from_raw_parts`](crate::CsrGraph::from_raw_parts), with two extra
+    /// obligations: `weights` must parallel `targets` arc-for-arc, every weight must be
+    /// finite (`< INFINITE_WEIGHT`), and the two arcs of each undirected edge must carry
+    /// the same weight. Everything is validated before any field is adopted; the snapshot
+    /// loader (`msrp-snap`) relies on this being the single source of truth for what a
+    /// well-formed frozen weighted graph is.
+    pub fn from_raw_parts(
+        offsets: Vec<u32>,
+        targets: Vec<u32>,
+        weights: Vec<Weight>,
+    ) -> Result<Self, GraphError> {
+        let malformed = |reason: String| GraphError::MalformedCsr { reason };
+        if weights.len() != targets.len() {
+            return Err(malformed(format!("{} weights for {} arcs", weights.len(), targets.len())));
+        }
+        if let Some(i) = weights.iter().position(|&w| w == INFINITE_WEIGHT) {
+            return Err(malformed(format!("arc {i} carries the infinite-weight sentinel")));
+        }
+        // The unweighted validator checks everything weight-independent (offsets shape,
+        // sorted rows, in-range ids, arc symmetry).
+        let skeleton = crate::CsrGraph::from_raw_parts(offsets, targets)?;
+        let n = skeleton.vertex_count();
+        let edge_count = skeleton.edge_count();
+        let (offsets, targets) = skeleton.into_raw_parts();
+        let graph = WeightedCsrGraph { offsets, targets, weights, edge_count };
+        for u in 0..n {
+            for (v, w) in graph.neighbors(u) {
+                if graph.edge_weight(v, u) != Some(w) {
+                    return Err(malformed(format!(
+                        "arcs {u}->{v} and {v}->{u} disagree on weight"
+                    )));
+                }
+            }
+        }
+        Ok(graph)
+    }
+
+    /// The raw offsets array (`n + 1` words; row `v` is `offsets[v]..offsets[v + 1]`).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw concatenated neighbour rows (length `2m`, each row sorted ascending).
+    #[inline]
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// The raw per-arc weights (`weights[i]` belongs to the arc `targets[i]`).
+    #[inline]
+    pub fn weights(&self) -> &[Weight] {
+        &self.weights
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn vertex_count(&self) -> usize {
@@ -626,15 +682,13 @@ impl WeightedTree {
         order: Vec<Vertex>,
     ) -> Self {
         let n = dist.len();
-        let mut children: Vec<Vec<Vertex>> = vec![Vec::new(); n];
         let mut depth = vec![0u32; n];
         for &v in &order {
             if let Some(p) = parent[v] {
-                children[p].push(v);
                 depth[v] = depth[p] + 1;
             }
         }
-        let (tin, tout) = euler_times(source, n, &children);
+        let (tin, tout) = euler_times(source, n, &order, &parent);
         WeightedTree { source, dist, parent, depth, order, tin, tout }
     }
 

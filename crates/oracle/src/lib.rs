@@ -144,14 +144,45 @@ impl ReplacementPathOracle {
         ReplacementPathOracle { sources: out.sources, trees: out.trees, distances: out.per_source }
     }
 
-    /// Assembles an oracle from its parts (crate-internal: the Bernstein–Karger construction
-    /// in [`bk`] builds trees and rows itself).
-    pub(crate) fn from_parts(
+    /// Assembles an oracle from its parts: one canonical tree and one replacement table per
+    /// source, in source order. This is how the Bernstein–Karger construction in [`bk`]
+    /// hands over its output, and how a deserialized snapshot (`msrp-snap`) becomes a live
+    /// oracle again without re-running any solver — the inverse of reading the parts back
+    /// through [`sources`](Self::sources) / [`trees`](Self::trees) /
+    /// [`per_source`](Self::per_source).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three vectors disagree in length, are empty, if two entries cover the
+    /// same source, or if a tree is not rooted at its slot's source. Callers holding
+    /// *untrusted* parts (a decoded snapshot) must validate before constructing — the
+    /// snapshot loader does, and fails closed with a typed error instead of reaching these
+    /// asserts.
+    pub fn from_parts(
         sources: Vec<Vertex>,
         trees: Vec<ShortestPathTree>,
         distances: Vec<SourceReplacementDistances>,
     ) -> Self {
+        assert!(!sources.is_empty(), "at least one source is required");
+        assert_eq!(sources.len(), trees.len(), "one tree per source");
+        assert_eq!(sources.len(), distances.len(), "one replacement table per source");
+        let mut dedup = sources.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sources.len(), "sources must be distinct");
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(trees[i].source(), s, "tree {i} is not rooted at its source");
+        }
         ReplacementPathOracle { sources, trees, distances }
+    }
+
+    /// The canonical shortest-path trees, in source order (one per source).
+    ///
+    /// Together with [`per_source`](Self::per_source) this is the oracle's entire state;
+    /// serializers persist exactly these parts and rebuild with
+    /// [`from_parts`](Self::from_parts).
+    pub fn trees(&self) -> &[ShortestPathTree] {
+        &self.trees
     }
 
     /// The per-source replacement tables, in source order.
@@ -454,6 +485,46 @@ impl WeightedReplacementOracle {
             trees: out.trees,
             distances: out.per_source,
         }
+    }
+
+    /// Assembles a weighted oracle from its parts — the weighted mirror of
+    /// [`ReplacementPathOracle::from_parts`], and the reconstruction path a deserialized
+    /// snapshot (`msrp-snap`) boots through.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ReplacementPathOracle::from_parts`]
+    /// (length mismatch, empty or duplicate sources, a tree rooted elsewhere). Untrusted
+    /// parts must be validated by the caller first; the snapshot loader fails closed with
+    /// a typed error instead of reaching these asserts.
+    pub fn from_parts(
+        sources: Vec<Vertex>,
+        trees: Vec<WeightedTree>,
+        distances: Vec<WeightedReplacementDistances>,
+    ) -> Self {
+        assert!(!sources.is_empty(), "at least one source is required");
+        assert_eq!(sources.len(), trees.len(), "one tree per source");
+        assert_eq!(sources.len(), distances.len(), "one replacement table per source");
+        let mut dedup = sources.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sources.len(), "sources must be distinct");
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(trees[i].source(), s, "tree {i} is not rooted at its source");
+        }
+        WeightedReplacementOracle { sources, trees, distances }
+    }
+
+    /// The canonical Dijkstra trees, in source order (one per source); with
+    /// [`per_source`](Self::per_source) this is the oracle's entire state.
+    pub fn trees(&self) -> &[WeightedTree] {
+        &self.trees
+    }
+
+    /// The per-source weighted replacement tables, in source order (the weighted mirror of
+    /// [`ReplacementPathOracle::per_source`]).
+    pub fn per_source(&self) -> &[WeightedReplacementDistances] {
+        &self.distances
     }
 
     /// Builds the oracle by brute force (one Dijkstra per tree edge per source, all through

@@ -40,6 +40,32 @@ impl SourceReplacementDistances {
         }
     }
 
+    /// Builds the table directly from a flat row stream: row `t` takes the next
+    /// `tree.distance(t)` entries (empty for unreachable targets), in vertex order.
+    /// The snapshot boot path uses this instead of [`new`](Self::new) followed by
+    /// per-entry [`set`](Self::set), which initialised and then overwrote every entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` does not hold exactly the entries the tree's row shapes
+    /// require — callers (the snapshot decoder) prove the total first.
+    pub fn from_flat_rows(tree: &ShortestPathTree, flat: &[Distance]) -> Self {
+        let n = tree.vertex_count();
+        let mut per_target = Vec::with_capacity(n);
+        let mut cursor = 0usize;
+        for t in 0..n {
+            let len = tree.distance(t).map_or(0, |d| d as usize);
+            per_target.push(flat[cursor..cursor + len].to_vec());
+            cursor += len;
+        }
+        assert_eq!(cursor, flat.len(), "flat row stream does not match the tree's row shapes");
+        SourceReplacementDistances {
+            source: tree.source(),
+            base: tree.distances().to_vec(),
+            per_target,
+        }
+    }
+
     /// The source vertex.
     pub fn source(&self) -> Vertex {
         self.source

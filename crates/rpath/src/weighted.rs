@@ -43,6 +43,31 @@ impl WeightedReplacementDistances {
         }
     }
 
+    /// Builds the table directly from a flat row stream: row `t` takes the next
+    /// `tree.depth(t)` entries, in vertex order — the weighted mirror of
+    /// [`SourceReplacementDistances::from_flat_rows`](crate::SourceReplacementDistances::from_flat_rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` does not hold exactly the entries the tree's row shapes
+    /// require — callers (the snapshot decoder) prove the total first.
+    pub fn from_flat_rows(tree: &WeightedTree, flat: &[Weight]) -> Self {
+        let n = tree.vertex_count();
+        let mut per_target = Vec::with_capacity(n);
+        let mut cursor = 0usize;
+        for t in 0..n {
+            let len = tree.depth(t);
+            per_target.push(flat[cursor..cursor + len].to_vec());
+            cursor += len;
+        }
+        assert_eq!(cursor, flat.len(), "flat row stream does not match the tree's row shapes");
+        WeightedReplacementDistances {
+            source: tree.source(),
+            base: tree.distances().to_vec(),
+            per_target,
+        }
+    }
+
     /// The source vertex.
     pub fn source(&self) -> Vertex {
         self.source

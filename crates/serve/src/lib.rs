@@ -17,7 +17,11 @@
 //! * [`loadgen`] — a deterministic, seed-pinned closed-loop load generator for driving the
 //!   service from N client threads;
 //! * [`protocol`] — the newline-delimited text protocol spoken by the TCP front end
-//!   (`examples/serve_tcp.rs` in the workspace root).
+//!   (`examples/serve_tcp.rs` in the workspace root);
+//! * [`wire`] — bounded line reading for that front end, capping what a hostile
+//!   newline-free connection can make the server buffer;
+//! * [`snapshot`] — boot-from-snapshot paths over `msrp-snap`, so a serving process can
+//!   adopt a persisted oracle instead of re-running construction.
 //!
 //! # Determinism
 //!
@@ -53,6 +57,8 @@ pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
 pub mod service;
+pub mod snapshot;
+pub mod wire;
 
 pub use epoch::{Epoch, EpochOracle};
 pub use exposition::{render_exposition, ObsReport};
@@ -67,3 +73,4 @@ pub use service::{
     BatchStage, ObsConfig, PendingBatch, Query, QueryService, RouteOracle, ServiceConfig,
     ShardedOracle, WeightedShardedOracle,
 };
+pub use wire::{read_line_bounded, LineOutcome, MAX_LINE_BYTES};

@@ -367,6 +367,11 @@ impl WeightedShardedOracle {
         self.shards[shard].distance(source, target)
     }
 
+    /// The shards, in routing order (read-only; what the snapshot encoder persists).
+    pub fn shards(&self) -> &[WeightedReplacementOracle] {
+        &self.shards
+    }
+
     /// Merges the shards back into a single weighted oracle (consumes the sharded view).
     pub fn into_merged(self) -> WeightedReplacementOracle {
         WeightedReplacementOracle::from_shards(self.shards)
@@ -694,13 +699,23 @@ impl<O: RouteOracle> QueryService<O> {
     /// Renders the Prometheus-style text exposition of the service's current state:
     /// the [`MetricsSnapshot`] families plus, when observability is on, the journal and
     /// slow-query families. This is what the `METRICS` wire verb serves.
+    ///
+    /// The returned text always ends in exactly one `\n`. The wire framing depends on
+    /// this: `METRICS` announces `text.lines().count()` lines and then writes the body
+    /// raw, so a missing or doubled trailing newline would desynchronize the header from
+    /// the bytes a client actually has to read.
     pub fn render_metrics(&self) -> String {
         let obs_report = self.obs.as_deref().map(|o| ObsReport {
             journal: o.journal.as_ref().map(|j| j.snapshot()),
             slow_total: o.slow.as_ref().map_or(0, |s| s.recorded()),
             slow_threshold: o.slow.as_ref().map(|s| s.threshold()),
         });
-        render_exposition(&self.metrics.snapshot(), obs_report.as_ref())
+        let mut text = render_exposition(&self.metrics.snapshot(), obs_report.as_ref());
+        while text.ends_with('\n') {
+            text.pop();
+        }
+        text.push('\n');
+        text
     }
 
     /// Gracefully shuts down: closes the queue, drains queued batches, joins every worker,

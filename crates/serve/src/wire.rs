@@ -1,0 +1,199 @@
+//! Bounded line reading for the TCP front end.
+//!
+//! `BufRead::read_line` grows its `String` until a `\n` arrives — which hands any client
+//! that simply never sends a newline a remote memory-exhaustion primitive: a hostile
+//! socket streaming megabytes of newline-free bytes makes the per-connection line buffer
+//! grow without bound until the allocator gives out. [`read_line_bounded`] is the
+//! drop-in replacement every wire loop must use instead: it accumulates at most
+//! `max_bytes` bytes of line, reports [`LineOutcome::TooLong`] the moment a line
+//! exceeds the cap, and leaves the connection in a well-defined (albeit mid-line) state
+//! so the caller can answer `ERR line too long` and hang up.
+//!
+//! No legitimate client is near the cap: the longest legal protocol line is a `B`/`BW`
+//! batch header plus digits, tens of bytes. [`MAX_LINE_BYTES`] (64 KiB) is three orders
+//! of magnitude of headroom, not a tuning knob.
+
+use std::io::{self, BufRead};
+
+/// Upper bound on one protocol line, in bytes (newline included). Generous for every
+/// legal verb, small enough that a hostile connection can pin at most this much.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// What [`read_line_bounded`] found on the wire.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// A complete line (or the final unterminated line before EOF) is in the buffer,
+    /// newline stripped.
+    Line,
+    /// The stream ended with no pending bytes.
+    Eof,
+    /// The line exceeded the byte cap before any `\n` arrived. The buffer holds the
+    /// (truncated) prefix; the rest of the line is still on the wire, so the only sane
+    /// continuation is to report the error and close the connection.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line into `line` (cleared first, newline and any `\r`
+/// stripped), accumulating at most `max_bytes` bytes.
+///
+/// Mirrors `read_line`'s contract otherwise: EOF with a non-empty partial line yields
+/// [`LineOutcome::Line`], EOF with nothing pending yields [`LineOutcome::Eof`]. Hostile
+/// non-UTF-8 bytes are replaced lossily rather than surfaced as an I/O error — a binary
+/// blob then draws an ordinary `ERR` from the parser instead of killing the worker.
+///
+/// On [`LineOutcome::TooLong`] the offending bytes up to the cap have been consumed from
+/// `reader` and everything past them is left unread; callers are expected to close the
+/// connection, not resynchronize.
+pub fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    line: &mut String,
+    max_bytes: usize,
+) -> io::Result<LineOutcome> {
+    enum Step {
+        Complete,
+        TooLong,
+        More,
+    }
+
+    line.clear();
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let (consumed, step) = {
+            let available = match reader.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                // EOF: hand back whatever is pending, mirroring read_line.
+                if buf.is_empty() {
+                    return Ok(LineOutcome::Eof);
+                }
+                (0, Step::Complete)
+            } else {
+                match available.iter().position(|&b| b == b'\n') {
+                    // A newline is in sight, but the line it terminates is over the cap.
+                    Some(pos) if buf.len() + pos > max_bytes => {
+                        let take = max_bytes - buf.len();
+                        buf.extend_from_slice(&available[..take]);
+                        (take, Step::TooLong)
+                    }
+                    Some(pos) => {
+                        buf.extend_from_slice(&available[..pos]);
+                        (pos + 1, Step::Complete) // consume the newline too
+                    }
+                    // No newline yet and the cap is already blown: take exactly up to
+                    // the cap (so `line` shows the prefix) and stop reading — the rest
+                    // of the oversized line stays on the wire.
+                    None if buf.len() + available.len() > max_bytes => {
+                        let take = max_bytes - buf.len();
+                        buf.extend_from_slice(&available[..take]);
+                        (take, Step::TooLong)
+                    }
+                    None => {
+                        let take = available.len();
+                        buf.extend_from_slice(available);
+                        (take, Step::More)
+                    }
+                }
+            }
+        };
+        reader.consume(consumed);
+        match step {
+            Step::More => {}
+            Step::Complete => {
+                finish_line(line, &buf);
+                return Ok(LineOutcome::Line);
+            }
+            Step::TooLong => {
+                finish_line(line, &buf);
+                return Ok(LineOutcome::TooLong);
+            }
+        }
+    }
+}
+
+fn finish_line(line: &mut String, buf: &[u8]) {
+    let text = String::from_utf8_lossy(buf);
+    let text = text.strip_suffix('\r').unwrap_or(&text);
+    line.push_str(text);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, Read};
+
+    /// A reader that never ends: an unbounded stream of `b'x'`. If the bounded reader
+    /// ever tried to "read until newline or EOF" it would spin (and allocate) forever —
+    /// terminating against this stream IS the memory-exhaustion regression test.
+    struct NewlineFreeStorm;
+
+    impl Read for NewlineFreeStorm {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            for b in buf.iter_mut() {
+                *b = b'x';
+            }
+            Ok(buf.len())
+        }
+    }
+
+    #[test]
+    fn plain_lines_round_trip() {
+        let mut reader = BufReader::new(&b"Q 0 1 2 3\nSTATS\r\n\nlast"[..]);
+        let mut line = String::new();
+        assert_eq!(read_line_bounded(&mut reader, &mut line, 64).unwrap(), LineOutcome::Line);
+        assert_eq!(line, "Q 0 1 2 3");
+        assert_eq!(read_line_bounded(&mut reader, &mut line, 64).unwrap(), LineOutcome::Line);
+        assert_eq!(line, "STATS");
+        assert_eq!(read_line_bounded(&mut reader, &mut line, 64).unwrap(), LineOutcome::Line);
+        assert_eq!(line, "");
+        // Final unterminated line before EOF still comes through, like read_line.
+        assert_eq!(read_line_bounded(&mut reader, &mut line, 64).unwrap(), LineOutcome::Line);
+        assert_eq!(line, "last");
+        assert_eq!(read_line_bounded(&mut reader, &mut line, 64).unwrap(), LineOutcome::Eof);
+    }
+
+    #[test]
+    fn exactly_at_the_cap_is_fine_one_past_is_not() {
+        let at_cap = vec![b'a'; 16];
+        let mut input = at_cap.clone();
+        input.push(b'\n');
+        let mut reader = BufReader::new(&input[..]);
+        let mut line = String::new();
+        assert_eq!(read_line_bounded(&mut reader, &mut line, 16).unwrap(), LineOutcome::Line);
+        assert_eq!(line.len(), 16);
+
+        let mut input = vec![b'a'; 17];
+        input.push(b'\n');
+        let mut reader = BufReader::new(&input[..]);
+        assert_eq!(read_line_bounded(&mut reader, &mut line, 16).unwrap(), LineOutcome::TooLong);
+    }
+
+    #[test]
+    fn infinite_newline_free_stream_terminates_within_the_cap() {
+        let mut reader = BufReader::new(NewlineFreeStorm);
+        let mut line = String::new();
+        let outcome = read_line_bounded(&mut reader, &mut line, MAX_LINE_BYTES).unwrap();
+        assert_eq!(outcome, LineOutcome::TooLong);
+        // The accumulated prefix is capped: this is the bound that the unbounded
+        // read_line lacked.
+        assert!(line.len() <= MAX_LINE_BYTES);
+    }
+
+    #[test]
+    fn hostile_binary_is_lossily_decoded_not_an_error() {
+        let mut reader = BufReader::new(&b"\xff\xfe\x00garbage\n"[..]);
+        let mut line = String::new();
+        assert_eq!(read_line_bounded(&mut reader, &mut line, 64).unwrap(), LineOutcome::Line);
+        assert!(line.contains("garbage"));
+    }
+
+    #[test]
+    fn crlf_is_stripped() {
+        let mut reader = BufReader::new(&b"STATS\r\n"[..]);
+        let mut line = String::new();
+        assert_eq!(read_line_bounded(&mut reader, &mut line, 64).unwrap(), LineOutcome::Line);
+        assert_eq!(line, "STATS");
+    }
+}

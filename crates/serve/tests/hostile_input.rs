@@ -445,3 +445,111 @@ fn bk_built_service_survives_hostility() {
     }
     service.shutdown();
 }
+
+/// The memory-exhaustion regression: a client streaming megabytes of newline-free bytes.
+/// `read_line` would buffer the whole storm (the line buffer grows until the allocator
+/// gives out); `read_line_bounded` must terminate at the cap with `TooLong` and never
+/// let the line buffer grow past it — resident memory per connection stays bounded no
+/// matter how much the client sends.
+#[test]
+fn newline_free_storm_never_grows_the_line_buffer_past_the_cap() {
+    use msrp_serve::{read_line_bounded, LineOutcome, MAX_LINE_BYTES};
+    use std::io::{BufReader, Read};
+
+    /// 8 MiB of newline-free hostility, delivered in awkward chunk sizes.
+    struct Storm {
+        remaining: usize,
+        chunk: usize,
+    }
+    impl Read for Storm {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let take = self.remaining.min(self.chunk).min(buf.len());
+            for b in &mut buf[..take] {
+                *b = b'x';
+            }
+            self.remaining -= take;
+            // Vary the chunk size so cap boundaries land mid-chunk, on-chunk, and
+            // one-past-chunk across iterations.
+            self.chunk = (self.chunk % 7777) + 1;
+            Ok(take)
+        }
+    }
+
+    let storm_bytes = 8 * 1024 * 1024;
+    let mut reader = BufReader::new(Storm { remaining: storm_bytes, chunk: 4096 });
+    let mut line = String::new();
+    let outcome = read_line_bounded(&mut reader, &mut line, MAX_LINE_BYTES).unwrap();
+    assert_eq!(outcome, LineOutcome::TooLong, "a newline-free storm must be cut off");
+    assert_eq!(line.len(), MAX_LINE_BYTES, "the reported prefix is exactly the cap");
+    assert!(
+        line.capacity() <= 2 * MAX_LINE_BYTES,
+        "the line buffer must stay near the cap, not grow toward the {storm_bytes}-byte storm \
+         (capacity = {})",
+        line.capacity()
+    );
+    // The untouched remainder proves the reader stopped at the cap instead of draining
+    // (and therefore buffering) the storm: at most the cap plus one BufReader refill was
+    // ever pulled off the wire.
+    let mut drained = 0usize;
+    let mut sink = [0u8; 65536];
+    loop {
+        let got = reader.read(&mut sink).unwrap();
+        if got == 0 {
+            break;
+        }
+        drained += got;
+    }
+    assert!(
+        drained >= storm_bytes - MAX_LINE_BYTES - 2 * 8192,
+        "almost all of the storm must still be on the wire, only {drained} bytes were left"
+    );
+}
+
+/// Pins the `METRICS` wire-framing invariant: the header announces
+/// `text.lines().count()` lines and the body is then written raw, so the rendered text
+/// must end in exactly one `\n` — a missing final newline would make the client's k-line
+/// read swallow the next reply, a doubled one would desynchronize it a line early.
+#[test]
+fn metrics_body_matches_its_own_line_count_header() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let service = service_under_test();
+    // Exercise the service so the histograms have buckets (more exposition lines).
+    service.answer_batch(&[Query::new(0, 5, Edge::new(0, 1))]);
+
+    for _ in 0..3 {
+        let text = service.render_metrics();
+        assert!(text.ends_with('\n'), "rendered metrics must end with a newline");
+        assert!(!text.ends_with("\n\n"), "rendered metrics must not end with a blank line");
+        assert_eq!(
+            text.lines().count(),
+            text.bytes().filter(|&b| b == b'\n').count(),
+            "every line is newline-terminated, so the header count equals the wire count"
+        );
+
+        // Round-trip the exact framing `examples/serve_tcp.rs` uses: write header + raw
+        // body, then read the announced number of lines back and require byte equality.
+        let mut wire = Vec::new();
+        writeln!(wire, "{}", msrp_serve::format_metrics_header(text.lines().count())).unwrap();
+        wire.write_all(text.as_bytes()).unwrap();
+        // The next reply on the connection must start exactly after the body.
+        writeln!(wire, "STATS_SENTINEL").unwrap();
+
+        let mut reader = BufReader::new(&wire[..]);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let k = msrp_serve::parse_metrics_header(line.trim_end()).unwrap();
+        let mut body = String::new();
+        for _ in 0..k {
+            line.clear();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "body shorter than its header");
+            body.push_str(&line);
+        }
+        assert_eq!(body, text, "k header lines must reassemble the exact rendered text");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "STATS_SENTINEL", "framing must not eat the next reply");
+        assert!(is_well_formed(&body), "reassembled exposition must be well-formed");
+    }
+    service.shutdown();
+}

@@ -1,0 +1,353 @@
+//! The snapshot corruption battery: every mutation of a valid snapshot — seeded bit
+//! flips, truncations, extensions, version skews, kind lies, section-offset lies — must
+//! either leave the bytes decoding to a bit-identical oracle or fail closed with a typed
+//! [`SnapError`]. Nothing may panic, and nothing may decode to a *different* oracle.
+//!
+//! Plus the serving-equality half of the contract: on every workload family of the BK
+//! differential battery (gnm, Barabási–Albert, grid, cycle, star, disconnected), a
+//! snapshot-booted oracle must answer row-for-row what the freshly built one answers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use msrp_graph::generators::{
+    barabasi_albert, connected_gnm, cycle_graph, gnm, grid_graph, star_graph,
+    weighted_connected_gnm,
+};
+use msrp_graph::Graph;
+use msrp_oracle::{build_bk_shards, ReplacementPathOracle, WeightedReplacementOracle};
+use msrp_snap::{
+    decode_snapshot, decode_weighted_snapshot, encode_snapshot, encode_weighted_snapshot,
+    fnv1a64_lanes, inspect, SnapError, SNAP_VERSION,
+};
+
+/// The six workload families of `bk_differential.rs`, with evenly spread sources.
+fn families() -> Vec<(&'static str, Graph)> {
+    let mut rng = StdRng::seed_from_u64(101);
+    let g_gnm = connected_gnm(48, 120, &mut rng).unwrap();
+    let mut rng = StdRng::seed_from_u64(202);
+    let g_ba = barabasi_albert(44, 3, &mut rng).unwrap();
+    let mut rng = StdRng::seed_from_u64(303);
+    let g_disc = gnm(40, 28, &mut rng).unwrap();
+    let g_two = Graph::from_edges(
+        14,
+        &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (7, 8), (8, 9), (9, 7), (9, 10)],
+    )
+    .unwrap();
+    vec![
+        ("gnm", g_gnm),
+        ("barabasi-albert", g_ba),
+        ("grid", grid_graph(6, 7)),
+        ("cycle", cycle_graph(30)),
+        ("star", star_graph(33)),
+        ("gnm-disconnected", g_disc),
+        ("two-components", g_two),
+    ]
+}
+
+fn spread_sources(n: usize, sigma: usize) -> Vec<usize> {
+    (0..sigma).map(|i| i * n / sigma).collect()
+}
+
+/// Builds a reference snapshot: BK shards over the gnm family (BK and exact tables are
+/// bit-identical, and BK is what production serving uses).
+fn reference_snapshot() -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(101);
+    let g = connected_gnm(48, 120, &mut rng).unwrap();
+    let sources = spread_sources(48, 4);
+    let shards = build_bk_shards(&g, &sources, 2);
+    encode_snapshot(&g.freeze(), &shards)
+}
+
+/// Asserts two oracle sets answer identically, row for row, via their public tables.
+fn assert_same_tables(a: &[ReplacementPathOracle], b: &[ReplacementPathOracle]) {
+    assert_eq!(a.len(), b.len(), "shard counts must agree");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.sources(), y.sources());
+        assert_eq!(x.per_source(), y.per_source(), "replacement tables must be identical");
+    }
+}
+
+#[test]
+fn every_family_boots_bit_identical_from_its_snapshot() {
+    for (name, g) in families() {
+        let n = g.vertex_count();
+        let sources = spread_sources(n, 3);
+        let shards = build_bk_shards(&g, &sources, 2);
+        let frozen = g.freeze();
+        let bytes = encode_snapshot(&frozen, &shards);
+        let snap = decode_snapshot(&bytes).unwrap_or_else(|e| panic!("family {name}: {e}"));
+        assert_eq!(snap.graph, frozen, "family {name}: graph must round-trip");
+        assert_same_tables(&snap.shards, &shards);
+        // Exact-built tables equal BK-built tables, so the booted oracle also answers
+        // what a from-scratch exact build answers — the full serving-equality claim.
+        let exact = ReplacementPathOracle::build_exact(&g, &sources);
+        let merged = ReplacementPathOracle::from_shards(snap.shards);
+        assert_eq!(merged.per_source(), exact.per_source(), "family {name}");
+        // And one canonical serialization: re-encoding reproduces the bytes.
+        assert_eq!(
+            encode_snapshot(&snap.graph, &shards),
+            bytes,
+            "family {name}: re-encode must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn weighted_families_boot_bit_identical() {
+    for (seed, n, m) in [(11u64, 36usize, 90usize), (13, 28, 60)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = weighted_connected_gnm(n, m, 1000, &mut rng).unwrap().freeze();
+        let sources = spread_sources(n, 3);
+        let shards: Vec<WeightedReplacementOracle> = vec![
+            WeightedReplacementOracle::build_exact(&g, &sources[..2]),
+            WeightedReplacementOracle::build_exact(&g, &sources[2..]),
+        ];
+        let bytes = encode_weighted_snapshot(&g, &shards);
+        let snap = decode_weighted_snapshot(&bytes).expect("weighted round trip");
+        assert_eq!(snap.graph, g);
+        for (x, y) in snap.shards.iter().zip(&shards) {
+            assert_eq!(x.sources(), y.sources());
+            assert_eq!(x.per_source(), y.per_source());
+        }
+        assert_eq!(encode_weighted_snapshot(&snap.graph, &snap.shards), bytes);
+    }
+}
+
+#[test]
+fn seeded_bit_flips_always_fail_closed() {
+    let bytes = reference_snapshot();
+    let baseline = decode_snapshot(&bytes).expect("pristine bytes decode");
+    let mut rng = StdRng::seed_from_u64(0xB17F11B);
+    for _ in 0..600 {
+        let mut mutated = bytes.clone();
+        let bit = rng.gen_range(0..mutated.len() * 8);
+        mutated[bit / 8] ^= 1 << (bit % 8);
+        // Every byte except the stored checksum is covered by the file checksum, and
+        // flipping a stored-checksum bit breaks the comparison itself — so a single
+        // bit flip can never decode: fail-closed means a typed error, never a panic.
+        // (This arm exists so a future format change that weakens the covering is
+        // caught: if it ever decodes, it must be identical.)
+        if let Ok(snap) = decode_snapshot(&mutated) {
+            assert_eq!(snap.graph, baseline.graph, "bit {bit}: silently wrong graph");
+            assert_same_tables(&snap.shards, &baseline.shards);
+            panic!("bit {bit}: a flipped bit decoded successfully — checksum gap");
+        }
+    }
+}
+
+#[test]
+fn every_truncation_fails_closed() {
+    let bytes = reference_snapshot();
+    // Every length below the header, then a byte-dense sweep above it.
+    for len in (0..bytes.len()).step_by(7).chain([0, 1, 39, 40, 41, bytes.len() - 1]) {
+        let truncated = &bytes[..len];
+        let err = decode_snapshot(truncated).expect_err("truncation must fail");
+        assert!(
+            matches!(err, SnapError::Truncated { .. } | SnapError::LengthMismatch { .. }),
+            "length {len}: unexpected error {err}"
+        );
+        assert!(inspect(truncated).is_err(), "inspect must also reject length {len}");
+    }
+}
+
+#[test]
+fn trailing_garbage_fails_closed() {
+    let mut bytes = reference_snapshot();
+    bytes.extend_from_slice(b"garbage");
+    assert!(matches!(decode_snapshot(&bytes), Err(SnapError::LengthMismatch { .. })));
+}
+
+/// Recomputes and re-stamps the whole-file checksum after a targeted mutation, so the
+/// mutation reaches the validation layer it is aimed at instead of tripping the checksum.
+fn restamp(bytes: &mut [u8]) {
+    // Independent reimplementation of the file checksum (kept deliberately separate
+    // from the crate's): FNV-1a-64 over `bytes[..32] ‖ bytes[40..]` as 8-byte LE lanes
+    // with a zero-padded tail, then the stream length absorbed as a final lane.
+    let mut stream = bytes[..32].to_vec();
+    stream.extend_from_slice(&bytes[40..]);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let absorb = |h: &mut u64, lane: u64| {
+        *h ^= lane;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    let mut lanes = stream.chunks_exact(8);
+    for lane in &mut lanes {
+        absorb(&mut h, u64::from_le_bytes(lane.try_into().unwrap()));
+    }
+    let tail = lanes.remainder();
+    if !tail.is_empty() {
+        let mut lane = [0u8; 8];
+        lane[..tail.len()].copy_from_slice(tail);
+        absorb(&mut h, u64::from_le_bytes(lane));
+    }
+    absorb(&mut h, stream.len() as u64);
+    bytes[32..40].copy_from_slice(&h.to_le_bytes());
+}
+
+#[test]
+fn version_skew_is_a_typed_error_not_a_guess() {
+    let bytes = reference_snapshot();
+    for skew in [0u32, SNAP_VERSION + 1, SNAP_VERSION + 7, u32::MAX] {
+        let mut mutated = bytes.clone();
+        mutated[8..12].copy_from_slice(&skew.to_le_bytes());
+        restamp(&mut mutated);
+        assert_eq!(
+            decode_snapshot(&mutated).expect_err("skewed version must fail"),
+            SnapError::UnsupportedVersion { found: skew, supported: SNAP_VERSION }
+        );
+    }
+}
+
+#[test]
+fn kind_lies_are_typed_errors() {
+    let bytes = reference_snapshot();
+    // An unknown kind code.
+    let mut mutated = bytes.clone();
+    mutated[12..16].copy_from_slice(&7u32.to_le_bytes());
+    restamp(&mut mutated);
+    assert_eq!(decode_snapshot(&mutated).expect_err("unknown kind"), SnapError::UnknownKind(7));
+    // A hop-metric file relabeled as weighted: the weighted decoder is now the right
+    // kind, but the file has no GRAPH_WEIGHTS section — structural fail, not a panic.
+    let mut relabeled = bytes.clone();
+    relabeled[12..16].copy_from_slice(&1u32.to_le_bytes());
+    restamp(&mut relabeled);
+    assert!(matches!(
+        decode_weighted_snapshot(&relabeled),
+        Err(SnapError::SectionTable { .. } | SnapError::Structure { .. })
+    ));
+    // And the honest file handed to the wrong decoder.
+    assert!(matches!(decode_weighted_snapshot(&bytes), Err(SnapError::WrongKind { .. })));
+}
+
+#[test]
+fn section_offset_lies_fail_closed() {
+    let bytes = reference_snapshot();
+    let section_count = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+    for i in 0..section_count {
+        let entry = 40 + 32 * i;
+        // Shift the offset by one aligned step: the payload window moves, so either the
+        // section checksum no longer matches or the window escapes the file.
+        for delta in [8i64, -8, 1 << 40] {
+            let mut mutated = bytes.clone();
+            let offset = u64::from_le_bytes(mutated[entry + 8..entry + 16].try_into().unwrap());
+            let lied = offset.wrapping_add(delta as u64);
+            mutated[entry + 8..entry + 16].copy_from_slice(&lied.to_le_bytes());
+            restamp(&mut mutated);
+            let err = decode_snapshot(&mutated).expect_err("offset lie must fail");
+            assert!(
+                matches!(err, SnapError::SectionTable { .. } | SnapError::SectionChecksum { .. }),
+                "section {i} offset {delta:+}: unexpected error {err}"
+            );
+        }
+        // Lie about the length too.
+        for lied_len in [u64::MAX, 1 << 40] {
+            let mut mutated = bytes.clone();
+            mutated[entry + 16..entry + 24].copy_from_slice(&lied_len.to_le_bytes());
+            restamp(&mut mutated);
+            assert!(
+                matches!(decode_snapshot(&mutated), Err(SnapError::SectionTable { .. })),
+                "section {i} length lie must be a table error"
+            );
+        }
+    }
+    // A section-count lie: claims more table entries than the file holds.
+    let mut mutated = bytes.clone();
+    mutated[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+    restamp(&mut mutated);
+    assert!(matches!(decode_snapshot(&mutated), Err(SnapError::SectionTable { .. })));
+}
+
+#[test]
+fn word_level_corruption_with_fixed_checksums_fails_structurally() {
+    // The deepest layer: flip payload words AND re-stamp both checksum layers, so only
+    // the structural validators stand between the lie and a wrong oracle. Two regimes:
+    //
+    // * *Structural* sections (META, graph arrays, sources, shard lens, tree dist /
+    //   parent / order): a word lie must be rejected with a typed error, or — in the
+    //   rare identity/padding case — decode to a bit-identical oracle. Never a
+    //   different one.
+    // * The ROWS section holds the oracle's free answer values; no validator can know
+    //   them without re-running the solver. A re-stamped row lie therefore *is* a
+    //   well-formed (different) snapshot — integrity checksums are its only defense,
+    //   and this test forged them on purpose. The contract there is just: no panic,
+    //   and the graph half is untouched.
+    let bytes = reference_snapshot();
+    let baseline = decode_snapshot(&bytes).expect("pristine decode");
+    let section_count = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+    let table_end = 40 + 32 * section_count;
+    let section_bounds: Vec<(u32, usize, usize)> = (0..section_count)
+        .map(|i| {
+            let entry = 40 + 32 * i;
+            let id = u32::from_le_bytes(bytes[entry..entry + 4].try_into().unwrap());
+            let off = u64::from_le_bytes(bytes[entry + 8..entry + 16].try_into().unwrap()) as usize;
+            let len =
+                u64::from_le_bytes(bytes[entry + 16..entry + 24].try_into().unwrap()) as usize;
+            (id, off, len)
+        })
+        .collect();
+    const ROWS_ID: u32 = 10;
+    let mut rng = StdRng::seed_from_u64(0x5EC7);
+    let mut structural_survived = 0usize;
+    let mut structural_tried = 0usize;
+    for _ in 0..400 {
+        let mut mutated = bytes.clone();
+        let word = table_end + 4 * rng.gen_range(0..(bytes.len() - table_end) / 4);
+        let lie: u32 = match rng.gen_range(0..4usize) {
+            0 => u32::MAX,
+            1 => u32::MAX - 1,
+            2 => rng.gen(),
+            _ => {
+                let old = u32::from_le_bytes(mutated[word..word + 4].try_into().unwrap());
+                old.wrapping_add(1)
+            }
+        };
+        mutated[word..word + 4].copy_from_slice(&lie.to_le_bytes());
+        // Re-stamp the owning section's checksum, then the file checksum.
+        let mut owner = None;
+        for &(id, off, len) in &section_bounds {
+            if (off..off + len).contains(&word) {
+                owner = Some(id);
+                let sum = fnv1a64_lanes(&mutated[off..off + len]);
+                let entry = section_bounds.iter().position(|&(i, _, _)| i == id).unwrap();
+                let entry = 40 + 32 * entry;
+                mutated[entry + 24..entry + 32].copy_from_slice(&sum.to_le_bytes());
+            }
+        }
+        restamp(&mut mutated);
+        // Typed structural rejection is the common case; anything that decodes must
+        // be answer-preserving.
+        if let Ok(snap) = decode_snapshot(&mutated) {
+            assert_eq!(snap.graph, baseline.graph, "word {word}: silently wrong graph");
+            if owner != Some(ROWS_ID) {
+                // Identity rewrite or alignment padding: must be answer-preserving.
+                assert_same_tables(&snap.shards, &baseline.shards);
+                structural_survived += 1;
+            }
+        }
+        if owner.is_some() && owner != Some(ROWS_ID) {
+            structural_tried += 1;
+        }
+    }
+    // The validators must be doing real work on the structural sections: the
+    // overwhelming majority of those lies must be rejected outright.
+    assert!(structural_tried > 50, "seeded sweep barely touched the structural sections");
+    assert!(
+        structural_survived * 10 < structural_tried,
+        "{structural_survived}/{structural_tried} structural word lies decoded — validators \
+         too permissive"
+    );
+}
+
+#[test]
+fn inspect_agrees_with_decode_on_the_pristine_file() {
+    let bytes = reference_snapshot();
+    let info = inspect(&bytes).expect("inspect");
+    let snap = decode_snapshot(&bytes).expect("decode");
+    assert_eq!(info.vertex_count, snap.graph.vertex_count());
+    assert_eq!(info.edge_count, snap.graph.edge_count());
+    assert_eq!(info.shard_count, snap.shards.len());
+    assert_eq!(info.source_count, snap.shards.iter().map(|s| s.sources().len()).sum::<usize>());
+    assert_eq!(info.entry_count, snap.shards.iter().map(|s| s.entry_count() as u64).sum::<u64>());
+    assert_eq!(info.bytes, bytes.len());
+}

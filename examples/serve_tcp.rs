@@ -32,8 +32,9 @@ use msrp::oracle::{ReplacementPathOracle, WeightedReplacementOracle};
 use msrp::serve::{
     format_answer, format_metrics_header, format_query, format_stats, format_weighted_answer,
     format_weighted_query, parse_answer, parse_metrics_header, parse_request, parse_stats,
-    parse_weighted_answer, random_queries, validate_query, BatchStage, ObsConfig, QueryService,
-    Request, ServiceConfig, ShardedOracle, WeightedShardedOracle,
+    parse_weighted_answer, random_queries, read_line_bounded, validate_query, BatchStage,
+    LineOutcome, ObsConfig, QueryService, Request, ServiceConfig, ShardedOracle,
+    WeightedShardedOracle, MAX_LINE_BYTES,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -81,6 +82,9 @@ enum BatchOutcome {
     Broken,
     /// The client hung up mid-batch.
     Eof,
+    /// A line blew the byte cap: fatal for the connection (the rest of the oversized
+    /// line is still on the wire, so resynchronizing is impossible).
+    TooLong,
 }
 
 /// Reads the `k` query lines of a length-delimited batch (`B` expects `Q` lines, `BW`
@@ -97,9 +101,10 @@ fn read_batch(
     let mut slots = Vec::with_capacity(k);
     let mut batch = Vec::with_capacity(k);
     for _ in 0..k {
-        line.clear();
-        if reader.read_line(line)? == 0 {
-            return Ok(BatchOutcome::Eof);
+        match read_line_bounded(reader, line, MAX_LINE_BYTES)? {
+            LineOutcome::Line => {}
+            LineOutcome::Eof => return Ok(BatchOutcome::Eof),
+            LineOutcome::TooLong => return Ok(BatchOutcome::TooLong),
         }
         let parsed = match (parse_request(line.trim_end()), weighted) {
             (Ok(Request::Query(q)), false) | (Ok(Request::WeightedQuery(q)), true) => Some(q),
@@ -155,9 +160,17 @@ fn handle_connection(
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // client hung up
+        // Bounded: a hostile connection streaming newline-free bytes used to grow this
+        // buffer without limit (`read_line` only stops at `\n` or EOF). Now it draws an
+        // ERR at 64 KiB and the connection closes — memory stays capped per connection.
+        match read_line_bounded(&mut reader, &mut line, MAX_LINE_BYTES)? {
+            LineOutcome::Line => {}
+            LineOutcome::Eof => return Ok(()), // client hung up
+            LineOutcome::TooLong => {
+                writeln!(writer, "ERR line too long")?;
+                writer.flush()?;
+                return Ok(());
+            }
         }
         match parse_request(line.trim_end()) {
             Ok(Request::Query(q)) => match validate_query(&q, vertex_count) {
@@ -198,6 +211,11 @@ fn handle_connection(
                         writer.flush()?;
                         return Ok(());
                     }
+                    BatchOutcome::TooLong => {
+                        writeln!(writer, "ERR line too long")?;
+                        writer.flush()?;
+                        return Ok(());
+                    }
                 }
             }
             Ok(Request::WeightedBatch(k)) => {
@@ -209,6 +227,11 @@ fn handle_connection(
                     BatchOutcome::Eof => return Ok(()),
                     BatchOutcome::Broken => {
                         writeln!(writer, "ERR batch lines must be QW queries")?;
+                        writer.flush()?;
+                        return Ok(());
+                    }
+                    BatchOutcome::TooLong => {
+                        writeln!(writer, "ERR line too long")?;
                         writer.flush()?;
                         return Ok(());
                     }
@@ -478,6 +501,32 @@ fn run_client(addr: &str) {
     let eof = reader.read_line(&mut line).expect("read after oversized header");
     assert_eq!(eof, 0, "the server must close the connection after an over-limit header");
 
+    // Regression, on its own connection (the previous one is closed): a newline-free line
+    // past the byte cap must draw `ERR line too long` and a close — `read_line` used to
+    // buffer such a line without bound, handing any client a memory-exhaustion primitive.
+    // Exactly cap+1 bytes then a write shutdown: the server provably consumes every byte
+    // before replying, so the close is a clean FIN and the ERR cannot be lost to a reset.
+    let stream = TcpStream::connect(addr).expect("reconnect for the over-long-line check");
+    let mut storm_writer = stream.try_clone().expect("clone stream");
+    let mut storm_reader = BufReader::new(stream);
+    let oversized = vec![b'x'; msrp::serve::MAX_LINE_BYTES + 1];
+    storm_writer.write_all(&oversized).expect("send newline-free storm");
+    storm_writer.flush().expect("flush storm");
+    storm_writer.shutdown(std::net::Shutdown::Write).expect("half-close");
+    line.clear();
+    storm_reader.read_line(&mut line).expect("read storm reply");
+    assert!(
+        line.starts_with("ERR line too long"),
+        "newline-free storm must draw `ERR line too long`, got {line:?}"
+    );
+    line.clear();
+    let eof = storm_reader.read_line(&mut line).expect("read after storm reply");
+    assert_eq!(eof, 0, "the server must close the connection after an over-long line");
+    println!(
+        "a {}-byte newline-free line drew `ERR line too long` and a clean close",
+        oversized.len()
+    );
+
     println!(
         "client verified {} hop-metric answers ({} single + {} batched) and {} weighted \
          answers against the in-process oracles, and {} hostile lines drew ERR replies \
@@ -507,7 +556,9 @@ fn smoke_run(obs: &ObsConfig) {
     std::thread::scope(|scope| {
         let service = &service;
         let wservice = &wservice;
-        let server = scope.spawn(move || serve(listener, service, wservice, Some(1)));
+        // Two connections: the main protocol conversation, then the over-long-line check
+        // (which needs a fresh connection because the first one ends closed).
+        let server = scope.spawn(move || serve(listener, service, wservice, Some(2)));
         run_client(&addr);
         server.join().expect("server thread");
     });

@@ -10,6 +10,7 @@
 //! * [`bmm`] — Boolean matrix multiplication and the Theorem 2 reduction.
 //! * [`netsim`] — link-failure simulation and Vickrey pricing applications.
 //! * [`obs`] — observability plane: span journal, stage profiler, metrics exposition.
+//! * [`snap`] — versioned, checksummed binary snapshots of frozen graphs and oracles.
 //! * [`serve`] — the concurrent, sharded replacement-path query service.
 //!
 //! # Quickstart
@@ -32,3 +33,4 @@ pub use msrp_obs as obs;
 pub use msrp_oracle as oracle;
 pub use msrp_rpath as rpath;
 pub use msrp_serve as serve;
+pub use msrp_snap as snap;
